@@ -1,0 +1,58 @@
+"""Ablation: the meta-scheduler's online mapping policy.
+
+The paper assumes the agent maps incoming jobs with MCT but notes that
+simpler policies (Random, RoundRobin) are sometimes the only option when no
+monitoring is deployed (Section 2.1).  This ablation compares the three
+mapping policies with and without reallocation: reallocation should recover
+part of the response time lost by the blind mapping policies.
+"""
+
+from benchmarks.conftest import TARGET_JOBS
+from repro.experiments.config import ExperimentConfig, bench_scale
+from repro.experiments.runner import ExperimentRunner
+
+MAPPINGS = ("mct", "random", "round_robin")
+
+
+def test_ablation_mapping_policy(benchmark):
+    runner = ExperimentRunner()
+    scale = bench_scale("feb", TARGET_JOBS)
+
+    def sweep_mappings():
+        results = {}
+        for mapping in MAPPINGS:
+            baseline = runner.baseline(
+                ExperimentConfig(
+                    scenario="feb", batch_policy="fcfs", scale=scale, mapping_policy=mapping
+                )
+            )
+            metrics = runner.metrics(
+                ExperimentConfig(
+                    scenario="feb",
+                    batch_policy="fcfs",
+                    algorithm="cancellation",
+                    heuristic="minmin",
+                    scale=scale,
+                    mapping_policy=mapping,
+                )
+            )
+            results[mapping] = (baseline.mean_response_time(), metrics)
+        return results
+
+    results = benchmark.pedantic(sweep_mappings, rounds=1, iterations=1)
+
+    print()
+    print("Ablation: mapping policy at submission (scenario feb, FCFS, Algorithm 2, MinMin)")
+    print(f"{'mapping':>12s} {'base resp (s)':>14s} {'impacted%':>10s} {'moves':>7s} {'rel.resp':>9s}")
+    for mapping, (base_response, metrics) in results.items():
+        print(
+            f"{mapping:>12s} {base_response:14.0f} {metrics.pct_impacted:10.1f} "
+            f"{metrics.reallocations:7d} {metrics.relative_response_time:9.2f}"
+        )
+
+    mct_response = results["mct"][0]
+    for mapping, (base_response, metrics) in results.items():
+        assert base_response > 0.0
+        assert metrics.reallocations >= 0
+    # MCT mapping should not be dramatically worse than the blind policies.
+    assert mct_response <= 2.0 * min(base for base, _ in results.values())

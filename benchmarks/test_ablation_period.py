@@ -1,0 +1,50 @@
+"""Ablation: sensitivity to the reallocation trigger period.
+
+The paper fixes the reallocation period to one hour, arguing it is "rare
+enough not to constantly send requests ... and often enough to improve
+performances" (Section 2.2.1).  This ablation varies the period (15 min,
+1 h, 4 h) on one scenario and reports how the metrics react: shorter
+periods may move more jobs, longer periods miss opportunities.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import TARGET_JOBS
+from repro.experiments.config import ExperimentConfig, bench_scale
+
+PERIODS = (900.0, 3600.0, 14_400.0)
+
+
+def test_ablation_reallocation_period(benchmark, runner):
+    base = ExperimentConfig(
+        scenario="may",
+        batch_policy="fcfs",
+        algorithm="standard",
+        heuristic="minmin",
+        scale=bench_scale("may", TARGET_JOBS),
+    )
+
+    def sweep_periods():
+        return {
+            period: runner.metrics(replace(base, reallocation_period=period))
+            for period in PERIODS
+        }
+
+    results = benchmark.pedantic(sweep_periods, rounds=1, iterations=1)
+
+    print()
+    print("Ablation: reallocation period (scenario may, FCFS, Algorithm 1, MinMin)")
+    print(f"{'period':>10s} {'impacted%':>10s} {'moves':>7s} {'early%':>8s} {'rel.resp':>9s}")
+    for period, metrics in results.items():
+        print(
+            f"{period:10.0f} {metrics.pct_impacted:10.1f} {metrics.reallocations:7d} "
+            f"{metrics.pct_earlier:8.1f} {metrics.relative_response_time:9.2f}"
+        )
+
+    for metrics in results.values():
+        assert 0.0 <= metrics.pct_impacted <= 100.0
+        assert metrics.reallocations >= 0
+    # A more frequent trigger can only examine the queues at least as often:
+    # it should not find strictly fewer reallocation opportunities than the
+    # 4-hour trigger by a large margin.
+    assert results[900.0].reallocations + 1 >= results[14_400.0].reallocations * 0.2

@@ -1,0 +1,47 @@
+"""Ablation: sensitivity to the minimum-improvement threshold of Algorithm 1.
+
+Algorithm 1 only moves a job if another cluster improves its expected
+completion time by at least one minute.  This ablation compares a zero
+threshold (move on any improvement), the paper's 60 seconds, and a much
+more conservative 10 minutes.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import TARGET_JOBS
+from repro.experiments.config import ExperimentConfig, bench_scale
+
+THRESHOLDS = (0.0, 60.0, 600.0)
+
+
+def test_ablation_improvement_threshold(benchmark, runner):
+    base = ExperimentConfig(
+        scenario="jun",
+        batch_policy="fcfs",
+        algorithm="standard",
+        heuristic="mct",
+        scale=bench_scale("jun", TARGET_JOBS),
+    )
+
+    def sweep_thresholds():
+        return {
+            threshold: runner.metrics(replace(base, reallocation_threshold=threshold))
+            for threshold in THRESHOLDS
+        }
+
+    results = benchmark.pedantic(sweep_thresholds, rounds=1, iterations=1)
+
+    print()
+    print("Ablation: minimum ECT improvement to move a job (scenario jun, FCFS, MCT)")
+    print(f"{'threshold':>10s} {'impacted%':>10s} {'moves':>7s} {'early%':>8s} {'rel.resp':>9s}")
+    for threshold, metrics in results.items():
+        print(
+            f"{threshold:10.0f} {metrics.pct_impacted:10.1f} {metrics.reallocations:7d} "
+            f"{metrics.pct_earlier:8.1f} {metrics.relative_response_time:9.2f}"
+        )
+
+    # Raising the threshold can only filter moves out at a given event, so a
+    # much stricter threshold should not move substantially more jobs.
+    assert results[600.0].reallocations <= results[0.0].reallocations + 5
+    for metrics in results.values():
+        assert metrics.relative_response_time > 0.0

@@ -1,0 +1,72 @@
+"""Ablation: walltime over-estimation is what makes reallocation worthwhile.
+
+The paper motivates reallocation by the fact that users over-estimate
+walltimes, so schedules built from walltimes diverge from reality and
+queues drain earlier than planned.  This ablation generates the same
+workload with three over-estimation levels (walltimes almost exact, the
+default 3x factor, and a pessimistic 6x factor) and measures how much
+reallocation changes: with exact walltimes there is little to correct.
+"""
+
+import numpy as np
+
+from repro.core.metrics import compare_runs
+from repro.grid.simulation import GridSimulation
+from repro.platform.catalog import grid5000_platform
+from repro.workload.synthetic import SiteWorkloadModel, generate_site_trace, merge_traces
+
+OVERESTIMATION_LEVELS = (1.05, 3.0, 6.0)
+
+
+def build_workload(overestimation_mean: float):
+    """One bursty day on the Grid'5000 platform with the given over-estimation."""
+    platform = grid5000_platform(heterogeneous=False)
+    counts = {"bordeaux": 220, "lyon": 40, "toulouse": 40}
+    traces = []
+    for index, (site, n_jobs) in enumerate(counts.items()):
+        model = SiteWorkloadModel(
+            site=site,
+            n_jobs=n_jobs,
+            duration=86_400.0,
+            site_procs=platform.get(site).procs,
+            target_utilization=0.9,
+            overestimation_mean=overestimation_mean,
+            overestimation_sigma=0.3,
+            underestimate_fraction=0.0,
+        )
+        traces.append(generate_site_trace(model, np.random.default_rng(100 + index)))
+    return platform, merge_traces(traces)
+
+
+def run_level(overestimation_mean: float):
+    platform, jobs = build_workload(overestimation_mean)
+    baseline = GridSimulation(platform, [j.copy() for j in jobs], batch_policy="fcfs").run()
+    realloc = GridSimulation(
+        platform,
+        [j.copy() for j in jobs],
+        batch_policy="fcfs",
+        reallocation="cancellation",
+        heuristic="minmin",
+    ).run()
+    return compare_runs(baseline, realloc)
+
+
+def test_ablation_walltime_overestimation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {level: run_level(level) for level in OVERESTIMATION_LEVELS},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Ablation: walltime over-estimation factor (FCFS, Algorithm 2, MinMin)")
+    print(f"{'factor':>8s} {'impacted%':>10s} {'moves':>7s} {'early%':>8s} {'rel.resp':>9s}")
+    for level, metrics in results.items():
+        print(
+            f"{level:8.2f} {metrics.pct_impacted:10.1f} {metrics.reallocations:7d} "
+            f"{metrics.pct_earlier:8.1f} {metrics.relative_response_time:9.2f}"
+        )
+
+    for metrics in results.values():
+        assert 0.0 <= metrics.pct_impacted <= 100.0
+        assert metrics.relative_response_time > 0.0

@@ -1,0 +1,33 @@
+"""Benchmark: the Algorithm 1 vs Algorithm 2 comparison (Section 4.3).
+
+Section 4.3 and the conclusion compare the two reallocation algorithms:
+cancellation performs more reallocations but usually improves the average
+response time of the impacted jobs further than plain reallocation.  The
+benchmark computes both homogeneous sweeps and prints the averaged metrics
+side by side, together with the paper's headline claim.
+"""
+
+from repro.experiments.report import render_comparison
+from repro.experiments.tables import comparison_summary
+
+
+def test_comparison_algorithm1_vs_algorithm2(benchmark, sweeps):
+    def build():
+        return comparison_summary(sweeps("standard", False), sweeps("cancellation", False))
+
+    summary = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(render_comparison(summary))
+
+    # Shape checks against the paper's findings.
+    assert summary.standard.mean_pct_impacted > 0.0
+    assert summary.cancellation.mean_reallocation_fraction >= (
+        summary.standard.mean_reallocation_fraction
+    )
+    # Reallocation helps on average, and cancellation helps at least as much.
+    assert summary.standard.mean_relative_response < 1.05
+    assert summary.cancellation.mean_relative_response < 1.0
+    assert summary.cancellation_improves_response or (
+        summary.cancellation.mean_relative_response
+        <= summary.standard.mean_relative_response + 0.05
+    )

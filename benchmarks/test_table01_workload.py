@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 1 of the paper (jobs per scenario and per site).
+
+The paper's Table 1 lists the number of jobs of each monthly Grid'5000
+trace per site; Section 3.3 adds the volumes of the six-month PWA +
+Grid'5000 scenario.  This benchmark generates the synthetic traces at the
+benchmark scale and prints the obtained per-site counts next to the paper's
+full-trace counts (kept as the paper reference).
+"""
+
+from benchmarks.conftest import TARGET_JOBS
+from repro.experiments.report import render_table
+from repro.experiments.tables import table_workload
+from repro.workload.scenarios import SCENARIO_NAMES, get_scenario
+
+
+def test_table01_workload_volumes(benchmark):
+    table = benchmark.pedantic(
+        lambda: table_workload(target_jobs=TARGET_JOBS), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(table, decimals=0))
+
+    assert table.number == 1
+    assert len(table.rows) == len(SCENARIO_NAMES)
+    total_index = table.columns.index("total")
+    for row in table.rows:
+        generated_total = row.values[total_index]
+        # each scenario is scaled to roughly the benchmark target
+        assert 0.5 * TARGET_JOBS <= generated_total <= 1.5 * TARGET_JOBS
+        # per-site proportions follow Table 1: the dominant site of the
+        # paper's trace stays dominant in the generated trace
+        scenario = get_scenario(row.heuristic)
+        dominant_site = max(scenario.site_counts, key=scenario.site_counts.get)
+        site_index = table.columns.index(dominant_site)
+        assert row.values[site_index] == max(
+            row.values[table.columns.index(site)] for site in scenario.site_counts
+        )
+        # the paper reference records the unscaled totals
+        assert table.paper_reference[(row.heuristic, "total")] == scenario.total_jobs

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 of the paper.
+
+Table 2 reports the percentage of jobs whose completion time changed for Algorithm 1 (without cancellation),
+on homogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table02_impacted_homog(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="impacted",
+        algorithm="standard",
+        heterogeneous=False,
+        expected_number=2,
+    )

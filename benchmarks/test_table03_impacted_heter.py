@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 3 of the paper.
+
+Table 3 reports the percentage of jobs whose completion time changed for Algorithm 1 (without cancellation),
+on heterogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table03_impacted_heter(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="impacted",
+        algorithm="standard",
+        heterogeneous=True,
+        expected_number=3,
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 4 of the paper.
+
+Table 4 reports the number of reallocations for Algorithm 1 (without cancellation),
+on homogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table04_nrealloc_homog(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="reallocations",
+        algorithm="standard",
+        heterogeneous=False,
+        expected_number=4,
+    )

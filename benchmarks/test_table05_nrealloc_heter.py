@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 5 of the paper.
+
+Table 5 reports the number of reallocations for Algorithm 1 (without cancellation),
+on heterogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table05_nrealloc_heter(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="reallocations",
+        algorithm="standard",
+        heterogeneous=True,
+        expected_number=5,
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 6 of the paper.
+
+Table 6 reports the percentage of impacted jobs finishing earlier for Algorithm 1 (without cancellation),
+on homogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table06_early_homog(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="early",
+        algorithm="standard",
+        heterogeneous=False,
+        expected_number=6,
+    )

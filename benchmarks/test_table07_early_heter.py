@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 7 of the paper.
+
+Table 7 reports the percentage of impacted jobs finishing earlier for Algorithm 1 (without cancellation),
+on heterogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table07_early_heter(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="early",
+        algorithm="standard",
+        heterogeneous=True,
+        expected_number=7,
+    )

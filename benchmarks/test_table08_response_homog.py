@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 8 of the paper.
+
+Table 8 reports the relative average response time for Algorithm 1 (without cancellation),
+on homogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table08_response_homog(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="response",
+        algorithm="standard",
+        heterogeneous=False,
+        expected_number=8,
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 9 of the paper.
+
+Table 9 reports the relative average response time for Algorithm 1 (without cancellation),
+on heterogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table09_response_heter(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="response",
+        algorithm="standard",
+        heterogeneous=True,
+        expected_number=9,
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 10 of the paper.
+
+Table 10 reports the percentage of jobs whose completion time changed for Algorithm 2 (with cancellation),
+on homogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table10_impacted_homog_cancel(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="impacted",
+        algorithm="cancellation",
+        heterogeneous=False,
+        expected_number=10,
+    )

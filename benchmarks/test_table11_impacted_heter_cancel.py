@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 11 of the paper.
+
+Table 11 reports the percentage of jobs whose completion time changed for Algorithm 2 (with cancellation),
+on heterogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table11_impacted_heter_cancel(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="impacted",
+        algorithm="cancellation",
+        heterogeneous=True,
+        expected_number=11,
+    )

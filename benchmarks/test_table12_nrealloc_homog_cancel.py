@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 12 of the paper.
+
+Table 12 reports the number of reallocations for Algorithm 2 (with cancellation),
+on homogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table12_nrealloc_homog_cancel(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="reallocations",
+        algorithm="cancellation",
+        heterogeneous=False,
+        expected_number=12,
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 13 of the paper.
+
+Table 13 reports the number of reallocations for Algorithm 2 (with cancellation),
+on heterogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table13_nrealloc_heter_cancel(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="reallocations",
+        algorithm="cancellation",
+        heterogeneous=True,
+        expected_number=13,
+    )

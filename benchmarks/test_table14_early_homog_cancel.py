@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 14 of the paper.
+
+Table 14 reports the percentage of impacted jobs finishing earlier for Algorithm 2 (with cancellation),
+on homogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table14_early_homog_cancel(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="early",
+        algorithm="cancellation",
+        heterogeneous=False,
+        expected_number=14,
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 15 of the paper.
+
+Table 15 reports the percentage of impacted jobs finishing earlier for Algorithm 2 (with cancellation),
+on heterogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table15_early_heter_cancel(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="early",
+        algorithm="cancellation",
+        heterogeneous=True,
+        expected_number=15,
+    )

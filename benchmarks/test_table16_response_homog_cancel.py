@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 16 of the paper.
+
+Table 16 reports the relative average response time for Algorithm 2 (with cancellation),
+on homogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table16_response_homog_cancel(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="response",
+        algorithm="cancellation",
+        heterogeneous=False,
+        expected_number=16,
+    )

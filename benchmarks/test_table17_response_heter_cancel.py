@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 17 of the paper.
+
+Table 17 reports the relative average response time for Algorithm 2 (with cancellation),
+on heterogeneous platforms: one row per (local batch policy, heuristic), one
+column per workload scenario.
+"""
+
+from benchmarks.conftest import run_table_bench
+
+
+def test_table17_response_heter_cancel(benchmark, sweeps):
+    run_table_bench(
+        benchmark,
+        sweeps,
+        metric="response",
+        algorithm="cancellation",
+        heterogeneous=True,
+        expected_number=17,
+    )

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Inspect a single run: load, waiting queues and slowdown per cluster.
+
+The paper's evaluation compares pairs of runs; this example shows the
+descriptive-analysis side of the library on one run: replay a scenario,
+then print the per-cluster utilisation, the evolution of the waiting
+queues, and the response-time / bounded-slowdown distributions — the
+classic figures of the parallel-job-scheduling literature.
+
+Run with::
+
+    python examples/cluster_load_analysis.py [scenario] [--cbf] [--reallocation]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import GridSimulation, get_scenario, grid5000_platform
+from repro.analysis import (
+    per_cluster_breakdown,
+    summarize_run,
+    utilization_timeline,
+    waiting_jobs_timeline,
+)
+from repro.analysis.timeline import per_cluster_utilization
+
+
+def sparkline(series, start, end, width=48, peak=None):
+    """Tiny text rendering of a step function over [start, end)."""
+    blocks = " .:-=+*#%@"
+    if end <= start:
+        return ""
+    peak = peak or max(series.peak, 1e-9)
+    chars = []
+    step = (end - start) / width
+    for i in range(width):
+        value = series.mean_over(start + i * step, start + (i + 1) * step)
+        level = min(len(blocks) - 1, int(round(value / peak * (len(blocks) - 1))))
+        chars.append(blocks[level])
+    return "".join(chars)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scenario", nargs="?", default="mar")
+    parser.add_argument("--cbf", action="store_true", help="use CBF instead of FCFS")
+    parser.add_argument("--reallocation", action="store_true",
+                        help="enable hourly reallocation (Algorithm 1, MinMin)")
+    parser.add_argument("--target-jobs", type=int, default=300)
+    args = parser.parse_args()
+
+    platform = grid5000_platform(heterogeneous=True)
+    scenario = get_scenario(args.scenario)
+    scale = min(1.0, args.target_jobs / scenario.total_jobs)
+    jobs = scenario.generate(platform, scale=scale)
+
+    run = GridSimulation(
+        platform,
+        jobs,
+        batch_policy="cbf" if args.cbf else "fcfs",
+        reallocation="standard" if args.reallocation else None,
+        heuristic="minmin",
+    ).run()
+
+    summary = summarize_run(run)
+    print(f"Scenario {scenario.name!r}: {summary.jobs} jobs, makespan {summary.makespan:.0f} s, "
+          f"{summary.reallocations} reallocations, {summary.killed} walltime kills\n")
+
+    print("Response time  : "
+          f"mean {summary.response_time.mean:8.0f} s   median {summary.response_time.median:8.0f} s   "
+          f"p95 {summary.response_time.p95:8.0f} s")
+    print("Wait time      : "
+          f"mean {summary.wait_time.mean:8.0f} s   median {summary.wait_time.median:8.0f} s   "
+          f"p95 {summary.wait_time.p95:8.0f} s")
+    print("Bounded slowdown: "
+          f"mean {summary.bounded_slowdown.mean:7.1f}     median {summary.bounded_slowdown.median:7.1f}     "
+          f"p95 {summary.bounded_slowdown.p95:7.1f}\n")
+
+    print("Per-cluster breakdown:")
+    for cluster, info in per_cluster_breakdown(run).items():
+        print(f"  {cluster:10s} {info.jobs:5d} jobs   {info.core_seconds / 3600:10.0f} core-hours   "
+              f"mean response {info.mean_response_time:8.0f} s")
+    print()
+
+    end = run.makespan
+    print(f"Platform utilisation over time (0 .. makespan, peak={platform.total_procs} cores):")
+    total = utilization_timeline(run)
+    print(f"  all        |{sparkline(total, 0.0, end, peak=platform.total_procs)}|")
+    for cluster, series in per_cluster_utilization(run, platform).items():
+        print(f"  {cluster:10s} |{sparkline(series, 0.0, end, peak=1.0)}|  (fraction of its cores)")
+    print()
+
+    waiting = waiting_jobs_timeline(run)
+    print(f"Waiting jobs over time (peak {waiting.peak:.0f}):")
+    print(f"  queue      |{sparkline(waiting, 0.0, end)}|")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Step-by-step walkthrough of the reallocation mechanism (Figure 1).
+
+This example drives the simulator objects directly — batch servers, the
+simulation kernel and the reallocation agent — to reconstruct the example of
+Figure 1 of the paper: two homogeneous clusters, one overloaded and one that
+drains ahead of plan because a job finished before its walltime.  It prints
+the planned schedules before and after the reallocation event as textual
+Gantt charts, then runs the simulation to the end to show when every job
+actually finished.
+
+Run with::
+
+    python examples/reallocation_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure1_example
+from repro.experiments.report import render_figure1
+
+
+def main() -> None:
+    figure = figure1_example(heuristic="mct")
+    print(render_figure1(figure))
+    print()
+    print("Reading the chart:")
+    print("  * jobs a and b keep cluster 1 busy until t=7200;")
+    print("  * job g needs the whole cluster, so h and i were planned behind it")
+    print("    at t=14400 before the reallocation event;")
+    print("  * on cluster 2, job f finished 9000 seconds before its walltime, so")
+    print("    job j started early and the cluster will be free at t=9000;")
+    print("  * at t=3600 the reallocation agent finds a better expected completion")
+    print("    time for h and i on cluster 2 (12600 instead of 18000) and migrates")
+    print("    them, exactly as in Figure 1 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Regenerate any table or figure of the paper from the command line.
+
+Examples::
+
+    # Table 8 (relative response time, homogeneous, Algorithm 1)
+    python examples/regenerate_paper_tables.py --table 8
+
+    # Table 16 with larger traces (slower, closer to the paper's volumes)
+    python examples/regenerate_paper_tables.py --table 16 --target-jobs 800
+
+    # Figures and the Algorithm 1 vs Algorithm 2 comparison
+    python examples/regenerate_paper_tables.py --figure 1
+    python examples/regenerate_paper_tables.py --figure 2
+    python examples/regenerate_paper_tables.py --summary
+
+    # Everything (the full 364-experiment sweep, scaled down)
+    python examples/regenerate_paper_tables.py --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.figures import figure1_example, figure2_side_effects
+from repro.experiments.report import (
+    render_comparison,
+    render_figure1,
+    render_figure2,
+    render_table,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import (
+    TABLE_NUMBERS,
+    comparison_summary,
+    build_metric_table,
+    table_workload,
+)
+
+#: table number -> (metric, algorithm, heterogeneous)
+_TABLE_SPECS = {number: spec for spec, number in TABLE_NUMBERS.items()}
+
+
+def render_metric_table(runner: ExperimentRunner, number: int, target_jobs: int) -> str:
+    metric, algorithm, heterogeneous = _TABLE_SPECS[number]
+    sweep = runner.sweep(
+        SweepConfig(algorithm=algorithm, heterogeneous=heterogeneous, target_jobs=target_jobs)
+    )
+    decimals = 0 if metric == "reallocations" else 2
+    return render_table(build_metric_table(sweep, metric), decimals=decimals)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--table", type=int, choices=range(1, 18), metavar="1-17",
+                        help="regenerate one table of the paper")
+    parser.add_argument("--figure", type=int, choices=(1, 2), help="regenerate a figure")
+    parser.add_argument("--summary", action="store_true",
+                        help="Algorithm 1 vs Algorithm 2 comparison (Section 4.3)")
+    parser.add_argument("--all", action="store_true", help="regenerate every table and figure")
+    parser.add_argument("--target-jobs", type=int, default=300,
+                        help="approximate jobs per scenario (default 300; the paper uses "
+                             "the full traces, up to 133135 jobs)")
+    parser.add_argument("--verbose", action="store_true", help="print one line per simulation")
+    args = parser.parse_args()
+
+    if not (args.table or args.figure or args.summary or args.all):
+        parser.print_help()
+        sys.exit(1)
+
+    runner = ExperimentRunner(verbose=args.verbose)
+
+    if args.all:
+        print(render_table(table_workload(target_jobs=args.target_jobs), decimals=0))
+        print()
+        for number in sorted(_TABLE_SPECS):
+            print(render_metric_table(runner, number, args.target_jobs))
+            print()
+        print(render_figure1(figure1_example()))
+        print()
+        print(render_figure2(figure2_side_effects()))
+        print()
+        standard = runner.sweep(
+            SweepConfig(algorithm="standard", heterogeneous=False, target_jobs=args.target_jobs)
+        )
+        cancellation = runner.sweep(
+            SweepConfig(algorithm="cancellation", heterogeneous=False,
+                        target_jobs=args.target_jobs)
+        )
+        print(render_comparison(comparison_summary(standard, cancellation)))
+        return
+
+    if args.table == 1:
+        print(render_table(table_workload(target_jobs=args.target_jobs), decimals=0))
+    elif args.table is not None:
+        print(render_metric_table(runner, args.table, args.target_jobs))
+
+    if args.figure == 1:
+        print(render_figure1(figure1_example()))
+    elif args.figure == 2:
+        print(render_figure2(figure2_side_effects()))
+
+    if args.summary:
+        standard = runner.sweep(
+            SweepConfig(algorithm="standard", heterogeneous=False, target_jobs=args.target_jobs)
+        )
+        cancellation = runner.sweep(
+            SweepConfig(algorithm="cancellation", heterogeneous=False,
+                        target_jobs=args.target_jobs)
+        )
+        print(render_comparison(comparison_summary(standard, cancellation)))
+
+
+if __name__ == "__main__":
+    main()

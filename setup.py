@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on environments whose setuptools
+predates PEP 660 editable wheels (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""Reproduction of *Analysis of Tasks Reallocation in a Dedicated Grid Environment*.
+
+This package re-implements, in pure Python, the full experimental system of
+Caniou, Charrier and Desprez (INRIA RR-7226, 2010): a discrete-event grid
+simulator with per-cluster batch schedulers (FCFS and conservative
+back-filling), a GridRPC-style middleware (client / meta-scheduler /
+servers), the two periodic reallocation algorithms of the paper with their
+six job-selection heuristics, calibrated synthetic workloads standing in
+for the Grid'5000 and Parallel Workload Archive traces, and an experiment
+harness regenerating every table and figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import GridSimulation, grid5000_platform, get_scenario
+>>> platform = grid5000_platform(heterogeneous=True)
+>>> jobs = get_scenario("jan").generate(platform, scale=0.01)
+>>> baseline = GridSimulation(platform, [j.copy() for j in jobs], batch_policy="fcfs").run()
+>>> realloc = GridSimulation(
+...     platform, [j.copy() for j in jobs], batch_policy="fcfs",
+...     reallocation="standard", heuristic="minmin",
+... ).run()
+>>> from repro import compare_runs
+>>> metrics = compare_runs(baseline, realloc)
+"""
+
+from repro.batch import BatchPolicy, BatchServer, Job, JobState
+from repro.core import (
+    HEURISTIC_NAMES,
+    ComparisonMetrics,
+    JobRecord,
+    RunResult,
+    compare_runs,
+    get_heuristic,
+)
+from repro.grid import (
+    GridSimulation,
+    MappingPolicy,
+    MetaScheduler,
+    MultiSubmissionAgent,
+    MultiSubmissionSimulation,
+    ReallocationAgent,
+    ReallocationAlgorithm,
+    TraceClient,
+)
+from repro.platform import (
+    ClusterSpec,
+    PlatformSpec,
+    grid5000_platform,
+    platform_for_scenario,
+    pwa_g5k_platform,
+)
+from repro.sim import SimulationKernel
+from repro.workload import (
+    SCENARIO_NAMES,
+    Scenario,
+    SiteWorkloadModel,
+    all_scenarios,
+    generate_site_trace,
+    get_scenario,
+    parse_swf,
+    parse_swf_file,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchPolicy",
+    "BatchServer",
+    "ClusterSpec",
+    "ComparisonMetrics",
+    "GridSimulation",
+    "HEURISTIC_NAMES",
+    "Job",
+    "JobRecord",
+    "JobState",
+    "MappingPolicy",
+    "MetaScheduler",
+    "MultiSubmissionAgent",
+    "MultiSubmissionSimulation",
+    "PlatformSpec",
+    "ReallocationAgent",
+    "ReallocationAlgorithm",
+    "RunResult",
+    "SCENARIO_NAMES",
+    "Scenario",
+    "SimulationKernel",
+    "SiteWorkloadModel",
+    "TraceClient",
+    "__version__",
+    "all_scenarios",
+    "compare_runs",
+    "generate_site_trace",
+    "get_heuristic",
+    "get_scenario",
+    "grid5000_platform",
+    "parse_swf",
+    "parse_swf_file",
+    "platform_for_scenario",
+    "pwa_g5k_platform",
+]

@@ -1,0 +1,41 @@
+"""Post-simulation analysis utilities.
+
+The paper's evaluation focuses on four comparison metrics
+(:mod:`repro.core.metrics`); this package adds the standard descriptive
+statistics of the parallel-job-scheduling literature (Feitelson & Rudolph's
+metrics paper is reference [9] of the reproduction target) so a run can be
+inspected on its own:
+
+* :mod:`repro.analysis.stats` — response time / wait time / bounded
+  slowdown distributions, per-cluster breakdowns and whole-run summaries;
+* :mod:`repro.analysis.timeline` — time series of processor utilisation
+  and of the number of waiting jobs, rebuilt from a run's job records.
+"""
+
+from repro.analysis.stats import (
+    ClusterBreakdown,
+    DistributionStats,
+    RunSummary,
+    bounded_slowdown,
+    per_cluster_breakdown,
+    response_time_stats,
+    slowdown_stats,
+    summarize_run,
+    wait_time_stats,
+)
+from repro.analysis.timeline import TimeSeries, utilization_timeline, waiting_jobs_timeline
+
+__all__ = [
+    "ClusterBreakdown",
+    "DistributionStats",
+    "RunSummary",
+    "TimeSeries",
+    "bounded_slowdown",
+    "per_cluster_breakdown",
+    "response_time_stats",
+    "slowdown_stats",
+    "summarize_run",
+    "utilization_timeline",
+    "wait_time_stats",
+    "waiting_jobs_timeline",
+]

@@ -1,0 +1,161 @@
+"""Descriptive statistics over a run's job records.
+
+These are the classic metrics of the parallel job scheduling literature
+(response time, wait time, bounded slowdown) plus per-cluster breakdowns.
+They complement the paper's comparison metrics: the comparison metrics need
+a baseline run, the statistics here describe a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.batch.job import JobState
+from repro.core.results import JobRecord, RunResult
+
+#: Threshold (seconds) below which runtimes are clamped when computing the
+#: bounded slowdown, as defined by Feitelson et al.  Ten seconds is the
+#: customary value.
+BOUNDED_SLOWDOWN_TAU = 10.0
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionStats:
+    """Summary statistics of a distribution of per-job values."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "DistributionStats":
+        """Build the summary from raw values (zeros everywhere when empty)."""
+        data = np.asarray(list(values), dtype=float)
+        if data.size == 0:
+            return cls(count=0, mean=0.0, median=0.0, p95=0.0, maximum=0.0)
+        return cls(
+            count=int(data.size),
+            mean=float(data.mean()),
+            median=float(np.median(data)),
+            p95=float(np.percentile(data, 95)),
+            maximum=float(data.max()),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterBreakdown:
+    """Per-cluster share of one run."""
+
+    cluster: str
+    jobs: int
+    core_seconds: float
+    mean_response_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class RunSummary:
+    """Whole-run summary combining the individual statistics."""
+
+    jobs: int
+    completed: int
+    rejected: int
+    killed: int
+    reallocations: int
+    makespan: float
+    response_time: DistributionStats
+    wait_time: DistributionStats
+    bounded_slowdown: DistributionStats
+    clusters: Dict[str, ClusterBreakdown]
+
+
+# --------------------------------------------------------------------- #
+# Per-job quantities                                                     #
+# --------------------------------------------------------------------- #
+def bounded_slowdown(record: JobRecord, tau: float = BOUNDED_SLOWDOWN_TAU) -> Optional[float]:
+    """Bounded slowdown of one job: ``max(1, response / max(runtime, tau))``.
+
+    Returns ``None`` for jobs that never completed.
+    """
+    response = record.response_time
+    if response is None:
+        return None
+    effective = min(record.runtime, record.walltime)
+    return max(1.0, response / max(effective, tau))
+
+
+def _completed(result: RunResult) -> List[JobRecord]:
+    return [record for record in result if record.completion_time is not None]
+
+
+# --------------------------------------------------------------------- #
+# Distributions                                                          #
+# --------------------------------------------------------------------- #
+def response_time_stats(result: RunResult) -> DistributionStats:
+    """Distribution of response times over the completed jobs."""
+    return DistributionStats.from_values(
+        record.response_time for record in _completed(result)
+    )
+
+
+def wait_time_stats(result: RunResult) -> DistributionStats:
+    """Distribution of wait times (start minus submission) over completed jobs."""
+    return DistributionStats.from_values(
+        record.wait_time for record in _completed(result) if record.wait_time is not None
+    )
+
+
+def slowdown_stats(result: RunResult, tau: float = BOUNDED_SLOWDOWN_TAU) -> DistributionStats:
+    """Distribution of bounded slowdowns over the completed jobs."""
+    values = [bounded_slowdown(record, tau) for record in _completed(result)]
+    return DistributionStats.from_values(v for v in values if v is not None)
+
+
+# --------------------------------------------------------------------- #
+# Per-cluster breakdown                                                  #
+# --------------------------------------------------------------------- #
+def per_cluster_breakdown(result: RunResult) -> Dict[str, ClusterBreakdown]:
+    """Jobs, core-seconds and mean response time per (final) cluster."""
+    grouped: Dict[str, List[JobRecord]] = {}
+    for record in _completed(result):
+        if record.final_cluster is None:
+            continue
+        grouped.setdefault(record.final_cluster, []).append(record)
+    breakdown = {}
+    for cluster, records in sorted(grouped.items()):
+        core_seconds = sum(
+            record.procs * (record.completion_time - record.start_time)
+            for record in records
+            if record.start_time is not None
+        )
+        responses = [record.response_time for record in records]
+        breakdown[cluster] = ClusterBreakdown(
+            cluster=cluster,
+            jobs=len(records),
+            core_seconds=float(core_seconds),
+            mean_response_time=float(np.mean(responses)) if responses else 0.0,
+        )
+    return breakdown
+
+
+# --------------------------------------------------------------------- #
+# Whole-run summary                                                      #
+# --------------------------------------------------------------------- #
+def summarize_run(result: RunResult, tau: float = BOUNDED_SLOWDOWN_TAU) -> RunSummary:
+    """All descriptive statistics of one run, in a single object."""
+    return RunSummary(
+        jobs=len(result),
+        completed=result.completed_count,
+        rejected=result.rejected_count,
+        killed=result.killed_count,
+        reallocations=result.total_reallocations,
+        makespan=result.makespan,
+        response_time=response_time_stats(result),
+        wait_time=wait_time_stats(result),
+        bounded_slowdown=slowdown_stats(result, tau),
+        clusters=per_cluster_breakdown(result),
+    )

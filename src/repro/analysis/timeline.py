@@ -1,0 +1,141 @@
+"""Time series rebuilt from a run's job records.
+
+The simulation itself does not log continuous state (that would be costly
+for hundreds of thousands of events); instead, the start/completion times
+stored in the :class:`~repro.core.results.RunResult` are enough to rebuild
+the two time series the scheduling literature usually plots:
+
+* processor utilisation (used cores over time), optionally per cluster;
+* number of waiting jobs over time (submitted but not yet started).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import RunResult
+from repro.platform.spec import PlatformSpec
+
+
+@dataclass(frozen=True, slots=True)
+class TimeSeries:
+    """A right-continuous step function: value ``values[i]`` holds from
+    ``times[i]`` (inclusive) until ``times[i+1]`` (exclusive)."""
+
+    times: Tuple[float, ...]
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have the same length")
+        if any(b < a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("times must be non-decreasing")
+
+    def value_at(self, time: float) -> float:
+        """Value of the step function at ``time`` (0 before the first step)."""
+        value = 0.0
+        for t, v in zip(self.times, self.values):
+            if t > time:
+                break
+            value = v
+        return value
+
+    @property
+    def peak(self) -> float:
+        """Maximum value reached."""
+        return max(self.values, default=0.0)
+
+    def mean_over(self, start: float, end: float) -> float:
+        """Time-weighted mean value over ``[start, end)``."""
+        if end <= start:
+            return self.value_at(start)
+        total = 0.0
+        boundaries = [start] + [t for t in self.times if start < t < end] + [end]
+        for left, right in zip(boundaries, boundaries[1:]):
+            total += self.value_at(left) * (right - left)
+        return total / (end - start)
+
+
+def _step_series(deltas: List[Tuple[float, float]]) -> TimeSeries:
+    """Cumulative step function from (time, delta) events."""
+    if not deltas:
+        return TimeSeries(times=(), values=())
+    deltas.sort(key=lambda item: item[0])
+    times: List[float] = []
+    values: List[float] = []
+    current = 0.0
+    for time, delta in deltas:
+        current += delta
+        if times and times[-1] == time:
+            values[-1] = current
+        else:
+            times.append(time)
+            values.append(current)
+    return TimeSeries(times=tuple(times), values=tuple(values))
+
+
+def utilization_timeline(
+    result: RunResult,
+    platform: Optional[PlatformSpec] = None,
+    cluster: Optional[str] = None,
+) -> TimeSeries:
+    """Used processors over time.
+
+    Parameters
+    ----------
+    result:
+        The run to analyse.
+    platform:
+        When given, the values are normalised by the platform's (or the
+        cluster's) processor count, yielding a utilisation in [0, 1].
+    cluster:
+        Restrict the series to one cluster (by final cluster of each job).
+    """
+    deltas: List[Tuple[float, float]] = []
+    for record in result:
+        if record.start_time is None or record.completion_time is None:
+            continue
+        if cluster is not None and record.final_cluster != cluster:
+            continue
+        deltas.append((record.start_time, float(record.procs)))
+        deltas.append((record.completion_time, -float(record.procs)))
+    series = _step_series(deltas)
+    if platform is None:
+        return series
+    if cluster is not None:
+        spec = platform.get(cluster)
+        if spec is None:
+            raise ValueError(f"cluster {cluster!r} is not part of platform {platform.name}")
+        capacity = spec.procs
+    else:
+        capacity = platform.total_procs
+    return TimeSeries(
+        times=series.times,
+        values=tuple(value / capacity for value in series.values),
+    )
+
+
+def waiting_jobs_timeline(result: RunResult, cluster: Optional[str] = None) -> TimeSeries:
+    """Number of waiting jobs (submitted, not yet started) over time."""
+    deltas: List[Tuple[float, float]] = []
+    for record in result:
+        if record.start_time is None:
+            continue
+        if cluster is not None and record.final_cluster != cluster:
+            continue
+        if record.start_time <= record.submit_time:
+            continue
+        deltas.append((record.submit_time, 1.0))
+        deltas.append((record.start_time, -1.0))
+    return _step_series(deltas)
+
+
+def per_cluster_utilization(
+    result: RunResult, platform: PlatformSpec
+) -> Dict[str, TimeSeries]:
+    """Utilisation series for every cluster of the platform."""
+    return {
+        spec.name: utilization_timeline(result, platform, cluster=spec.name)
+        for spec in platform
+    }

@@ -1,0 +1,146 @@
+"""Cluster resource state.
+
+:class:`ClusterState` tracks the processors of one cluster and the jobs
+currently running on it.  It knows nothing about queues or policies; the
+:class:`~repro.batch.server.BatchServer` combines it with a waiting queue
+and a planning policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from repro.batch.job import Job
+from repro.batch.profile import AvailabilityProfile
+
+
+@dataclass(frozen=True, slots=True)
+class RunningJob:
+    """A job currently executing on the cluster.
+
+    ``walltime_end`` is the time at which the local resource manager would
+    kill the job; the *actual* completion is at most that and is only known
+    to the simulation, not to the scheduler.
+    """
+
+    job: Job
+    start_time: float
+    walltime_end: float
+
+    @property
+    def procs(self) -> int:
+        """Processors held by the job."""
+        return self.job.procs
+
+
+class ClusterState:
+    """Processors, speed factor and running set of one cluster.
+
+    Parameters
+    ----------
+    name:
+        Cluster identifier (e.g. ``"bordeaux"``).
+    total_procs:
+        Number of processors (cores) of the cluster.
+    speed:
+        Relative speed factor; 1.0 is the reference (slowest) cluster.
+        Runtimes and walltimes are divided by this factor.
+    """
+
+    def __init__(self, name: str, total_procs: int, speed: float = 1.0) -> None:
+        if total_procs <= 0:
+            raise ValueError(f"cluster {name}: total_procs must be positive, got {total_procs}")
+        if speed <= 0:
+            raise ValueError(f"cluster {name}: speed must be positive, got {speed}")
+        self.name = name
+        self.total_procs = int(total_procs)
+        self.speed = float(speed)
+        self._running: Dict[int, RunningJob] = {}
+
+    # ------------------------------------------------------------------ #
+    # Running set                                                        #
+    # ------------------------------------------------------------------ #
+    @property
+    def used_procs(self) -> int:
+        """Processors currently held by running jobs."""
+        return sum(entry.procs for entry in self._running.values())
+
+    @property
+    def free_procs(self) -> int:
+        """Processors currently idle."""
+        return self.total_procs - self.used_procs
+
+    @property
+    def running_count(self) -> int:
+        """Number of running jobs."""
+        return len(self._running)
+
+    def running_jobs(self) -> Iterator[RunningJob]:
+        """Iterate over the running set."""
+        return iter(self._running.values())
+
+    def is_running(self, job_id: int) -> bool:
+        """True if the job with ``job_id`` is currently running here."""
+        return job_id in self._running
+
+    def start_job(self, job: Job, start_time: float) -> RunningJob:
+        """Mark ``job`` as running from ``start_time``.
+
+        Raises
+        ------
+        ValueError
+            If the job does not fit in the currently free processors or is
+            already running.
+        """
+        if job.job_id in self._running:
+            raise ValueError(f"job {job.job_id} is already running on {self.name}")
+        if job.procs > self.free_procs:
+            raise ValueError(
+                f"job {job.job_id} needs {job.procs} procs but only "
+                f"{self.free_procs} are free on {self.name}"
+            )
+        entry = RunningJob(
+            job=job,
+            start_time=start_time,
+            walltime_end=start_time + job.walltime_on(self.speed),
+        )
+        self._running[job.job_id] = entry
+        return entry
+
+    def finish_job(self, job_id: int) -> RunningJob:
+        """Remove a running job (normal completion or walltime kill)."""
+        try:
+            return self._running.pop(job_id)
+        except KeyError as exc:
+            raise ValueError(f"job {job_id} is not running on {self.name}") from exc
+
+    def fits(self, job: Job) -> bool:
+        """True if the job's processor request does not exceed the cluster size."""
+        return job.procs <= self.total_procs
+
+    # ------------------------------------------------------------------ #
+    # Profiles                                                           #
+    # ------------------------------------------------------------------ #
+    def build_profile(self, now: float) -> AvailabilityProfile:
+        """Availability profile from ``now`` given the running jobs.
+
+        The occupation of each running job extends to its *walltime* end,
+        which is all the scheduler knows before the job actually finishes.
+        """
+        profile = AvailabilityProfile(self.total_procs, start_time=now)
+        for entry in self._running.values():
+            end = entry.walltime_end
+            if end <= now:
+                # The job is at its walltime boundary; its completion event
+                # fires at this same timestamp before any planning query, so
+                # this only happens transiently.  Treat it as already gone.
+                continue
+            profile.subtract(now, end, entry.procs)
+        return profile
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterState({self.name}, procs={self.used_procs}/{self.total_procs}, "
+            f"speed={self.speed})"
+        )

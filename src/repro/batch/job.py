@@ -1,0 +1,162 @@
+"""Parallel rigid jobs.
+
+A job in the paper's model is *rigid*: it requests a fixed number of
+processors and a walltime.  The walltime is what the user declared (and is
+usually over-estimated); the actual runtime is only discovered when the job
+completes.  When the walltime is reached a still-running job is killed, so
+the *effective* runtime on a cluster is ``min(runtime, walltime)`` scaled
+by the cluster speed.
+
+Runtimes and walltimes are expressed relative to a reference speed of 1.0
+(the slowest cluster of the platform).  On a cluster with speed factor
+``s`` both are divided by ``s``: this is the "automatic adjustment of the
+walltime to the speed of the cluster" optimisation described in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside the grid simulation."""
+
+    PENDING = "pending"  #: created from the trace, not yet submitted
+    WAITING = "waiting"  #: submitted to a cluster, waiting in its queue
+    RUNNING = "running"  #: started on a cluster
+    COMPLETED = "completed"  #: finished (normally or killed at walltime)
+    CANCELLED = "cancelled"  #: cancelled and not yet resubmitted
+    REJECTED = "rejected"  #: does not fit on any cluster of the platform
+
+
+@dataclass(slots=True)
+class Job:
+    """One parallel rigid job.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier within a scenario.
+    submit_time:
+        Time (seconds from the start of the trace) at which the client
+        submits the job to the grid middleware.
+    procs:
+        Number of processors requested; fixed for the job's lifetime.
+    runtime:
+        Actual execution time on a reference-speed (1.0) cluster.
+    walltime:
+        User-requested walltime on a reference-speed cluster; the job is
+        killed if it runs longer than this (scaled by cluster speed).
+    origin_site:
+        Optional name of the site the job was originally submitted to in
+        the source trace (informational only; the meta-scheduler re-maps
+        every job).
+    """
+
+    job_id: int
+    submit_time: float
+    procs: int
+    runtime: float
+    walltime: float
+    origin_site: Optional[str] = None
+
+    # -- dynamic state ------------------------------------------------- #
+    state: JobState = field(default=JobState.PENDING)
+    cluster: Optional[str] = field(default=None)
+    #: time at which the job was (re)submitted to its current cluster
+    local_submit_time: Optional[float] = field(default=None)
+    start_time: Optional[float] = field(default=None)
+    completion_time: Optional[float] = field(default=None)
+    #: True if the job exceeded its walltime and was killed
+    killed: bool = field(default=False)
+    #: number of times the job was moved to a *different* cluster
+    reallocation_count: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.procs <= 0:
+            raise ValueError(f"job {self.job_id}: procs must be positive, got {self.procs}")
+        if self.runtime < 0:
+            raise ValueError(f"job {self.job_id}: runtime must be >= 0, got {self.runtime}")
+        if self.walltime <= 0:
+            raise ValueError(f"job {self.job_id}: walltime must be > 0, got {self.walltime}")
+        if self.submit_time < 0:
+            raise ValueError(
+                f"job {self.job_id}: submit_time must be >= 0, got {self.submit_time}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Speed scaling                                                      #
+    # ------------------------------------------------------------------ #
+    def walltime_on(self, speed: float) -> float:
+        """Walltime requested on a cluster with the given speed factor."""
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        return self.walltime / speed
+
+    def runtime_on(self, speed: float) -> float:
+        """Actual runtime on a cluster with the given speed factor."""
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        return self.runtime / speed
+
+    def effective_runtime_on(self, speed: float) -> float:
+        """Wall-clock time the job occupies processors on the cluster.
+
+        This is the actual runtime capped at the walltime (the local
+        resource manager kills jobs that exceed their walltime).
+        """
+        return min(self.runtime_on(speed), self.walltime_on(speed))
+
+    def exceeds_walltime(self) -> bool:
+        """True if the job would be killed at its walltime."""
+        return self.runtime > self.walltime
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics                                                    #
+    # ------------------------------------------------------------------ #
+    @property
+    def response_time(self) -> Optional[float]:
+        """Completion minus grid submission time (``None`` until finished)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.submit_time
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Start minus grid submission time (``None`` until started)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    def reset_dynamic_state(self) -> None:
+        """Return the job to its pristine PENDING state.
+
+        Used by the experiment runner so the same trace objects can be
+        replayed for the baseline and for every reallocation configuration.
+        """
+        self.state = JobState.PENDING
+        self.cluster = None
+        self.local_submit_time = None
+        self.start_time = None
+        self.completion_time = None
+        self.killed = False
+        self.reallocation_count = 0
+
+    def copy(self) -> "Job":
+        """Deep-enough copy with pristine dynamic state."""
+        return Job(
+            job_id=self.job_id,
+            submit_time=self.submit_time,
+            procs=self.procs,
+            runtime=self.runtime,
+            walltime=self.walltime,
+            origin_site=self.origin_site,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job(id={self.job_id}, t={self.submit_time:.0f}, p={self.procs}, "
+            f"rt={self.runtime:.0f}, wt={self.walltime:.0f}, state={self.state.value})"
+        )

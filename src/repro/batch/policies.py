@@ -1,0 +1,149 @@
+"""Local scheduling policies: FCFS and Conservative Back-Filling.
+
+Both policies are *conservative*: every waiting job gets a reservation and
+a later-queued job is never allowed to delay the reservation of an
+earlier-queued job.  The difference is where the reservation may be placed:
+
+* **FCFS** — "the earliest slot at the end of the job queue": jobs keep
+  strict queue order, so a job may not start before the job ahead of it in
+  the queue starts.  This is the default policy of PBS, Sun Grid Engine and
+  Maui as cited in the paper.
+* **CBF** — conservative back-filling: a job may slide into an earlier hole
+  of the availability profile as long as the already-placed reservations
+  (i.e. the earlier-queued jobs) are untouched.  Available in Maui,
+  LoadLeveler and OAR.
+
+Planning is a pure function from ``(profile, queue, speed, now)`` to a
+:class:`~repro.batch.schedule.ClusterPlan`; the caller passes a *copy* of
+the live profile when the result must not affect the cluster state.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Iterable, Protocol, Sequence
+
+from repro.batch.job import Job
+from repro.batch.profile import AvailabilityProfile
+from repro.batch.schedule import ClusterPlan, PlannedJob
+
+
+class BatchPolicy(enum.Enum):
+    """Identifier of a local scheduling policy."""
+
+    FCFS = "fcfs"
+    CBF = "cbf"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+
+class PlanningPolicy(Protocol):
+    """Signature of a planning function."""
+
+    def __call__(
+        self,
+        profile: AvailabilityProfile,
+        queue: Sequence[Job],
+        speed: float,
+        now: float,
+        cluster_name: str = "",
+    ) -> ClusterPlan:  # pragma: no cover - protocol definition
+        ...
+
+
+def _plan(
+    profile: AvailabilityProfile,
+    queue: Sequence[Job],
+    speed: float,
+    now: float,
+    cluster_name: str,
+    keep_queue_order: bool,
+) -> ClusterPlan:
+    """Shared planning loop for FCFS and CBF.
+
+    Jobs are placed one by one in queue order.  ``keep_queue_order`` adds
+    the FCFS constraint that a job may not start before the previous job in
+    the queue.
+    """
+    plan = ClusterPlan(cluster_name, computed_at=now)
+    previous_start = now
+    for job in queue:
+        duration = job.walltime_on(speed)
+        earliest = previous_start if keep_queue_order else now
+        start = profile.earliest_slot(job.procs, duration, earliest)
+        if math.isfinite(start):
+            profile.subtract(start, start + duration, job.procs)
+            end = start + duration
+        else:
+            end = math.inf
+        plan.add(PlannedJob(job.job_id, job.procs, start, end))
+        if keep_queue_order and math.isfinite(start):
+            previous_start = start
+    return plan
+
+
+def plan_fcfs(
+    profile: AvailabilityProfile,
+    queue: Sequence[Job],
+    speed: float,
+    now: float,
+    cluster_name: str = "",
+) -> ClusterPlan:
+    """First-come-first-served conservative planning.
+
+    The reservation of each job is the earliest slot that is not before the
+    reservation of the previous job in the queue, so jobs start in queue
+    order (ties resolved by processor availability).
+    """
+    return _plan(profile, queue, speed, now, cluster_name, keep_queue_order=True)
+
+
+def plan_cbf(
+    profile: AvailabilityProfile,
+    queue: Sequence[Job],
+    speed: float,
+    now: float,
+    cluster_name: str = "",
+) -> ClusterPlan:
+    """Conservative back-filling planning.
+
+    Each job is placed at the earliest slot available in the profile after
+    the reservations of all earlier-queued jobs have been subtracted; it may
+    therefore start before an earlier-queued job (back-filling), but it can
+    never delay one (conservative).
+    """
+    return _plan(profile, queue, speed, now, cluster_name, keep_queue_order=False)
+
+
+_POLICIES: dict[BatchPolicy, PlanningPolicy] = {
+    BatchPolicy.FCFS: plan_fcfs,
+    BatchPolicy.CBF: plan_cbf,
+}
+
+
+def get_policy(policy: "BatchPolicy | str") -> PlanningPolicy:
+    """Resolve a policy identifier (enum member or name) to its function."""
+    if isinstance(policy, str):
+        try:
+            policy = BatchPolicy(policy.lower())
+        except ValueError as exc:
+            valid = ", ".join(p.value for p in BatchPolicy)
+            raise ValueError(f"unknown batch policy {policy!r}; expected one of {valid}") from exc
+    return _POLICIES[policy]
+
+
+def iter_policies() -> Iterable[tuple[BatchPolicy, PlanningPolicy]]:
+    """Iterate over ``(identifier, planning function)`` pairs."""
+    return _POLICIES.items()
+
+
+def policy_name(policy: "BatchPolicy | Callable[..., ClusterPlan]") -> str:
+    """Human-readable name of a policy identifier or planning function."""
+    if isinstance(policy, BatchPolicy):
+        return str(policy)
+    for ident, func in _POLICIES.items():
+        if func is policy:
+            return str(ident)
+    return getattr(policy, "__name__", repr(policy))

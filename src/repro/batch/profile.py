@@ -1,0 +1,225 @@
+"""Availability profiles.
+
+An :class:`AvailabilityProfile` is the step function ``time -> number of
+free processors`` that a batch scheduler maintains to plan reservations.
+Both FCFS and conservative back-filling are expressed as searches over this
+profile: *find the earliest interval of length d during which at least p
+processors are free*, then subtract ``p`` processors over that interval.
+
+The profile is a sorted list of breakpoints ``(time, free)``; the last
+breakpoint extends to infinity.  All planning in :mod:`repro.batch.policies`
+works on copies of the live profile, so estimation queries never mutate the
+scheduler state.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable, Iterator, Tuple
+
+
+class ProfileError(ValueError):
+    """Raised when a reservation would drive the free-processor count negative."""
+
+
+class AvailabilityProfile:
+    """Step function of free processors over time.
+
+    Parameters
+    ----------
+    total_procs:
+        Capacity of the cluster; the profile starts fully free.
+    start_time:
+        Left edge of the profile.  Queries before this time are clamped to
+        it (the past is irrelevant for planning).
+    """
+
+    __slots__ = ("total_procs", "_times", "_free")
+
+    def __init__(self, total_procs: int, start_time: float = 0.0) -> None:
+        if total_procs <= 0:
+            raise ValueError(f"total_procs must be positive, got {total_procs}")
+        self.total_procs = int(total_procs)
+        self._times: list[float] = [float(start_time)]
+        self._free: list[int] = [int(total_procs)]
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+    @property
+    def start_time(self) -> float:
+        """Left edge of the profile."""
+        return self._times[0]
+
+    def breakpoints(self) -> Iterator[Tuple[float, int]]:
+        """Iterate over ``(time, free_procs)`` breakpoints."""
+        return zip(self._times, self._free)
+
+    def free_at(self, time: float) -> int:
+        """Number of free processors at ``time`` (clamped to the profile start)."""
+        if time <= self._times[0]:
+            return self._free[0]
+        idx = bisect_right(self._times, time) - 1
+        return self._free[idx]
+
+    def min_free_over(self, start: float, end: float) -> int:
+        """Minimum number of free processors over the interval ``[start, end)``."""
+        if end <= start:
+            return self.free_at(start)
+        start = max(start, self._times[0])
+        idx = bisect_right(self._times, start) - 1
+        lowest = self._free[idx]
+        idx += 1
+        while idx < len(self._times) and self._times[idx] < end:
+            lowest = min(lowest, self._free[idx])
+            idx += 1
+        return lowest
+
+    # ------------------------------------------------------------------ #
+    # Mutation                                                           #
+    # ------------------------------------------------------------------ #
+    def _ensure_breakpoint(self, time: float) -> int:
+        """Insert a breakpoint at ``time`` (if missing) and return its index."""
+        idx = bisect_right(self._times, time) - 1
+        if idx < 0:
+            # Before the profile start: extend the profile to the left with
+            # the capacity value so reservations starting earlier are valid.
+            self._times.insert(0, time)
+            self._free.insert(0, self.total_procs)
+            return 0
+        if self._times[idx] == time:
+            return idx
+        self._times.insert(idx + 1, time)
+        self._free.insert(idx + 1, self._free[idx])
+        return idx + 1
+
+    def subtract(self, start: float, end: float, procs: int) -> None:
+        """Remove ``procs`` free processors over ``[start, end)``.
+
+        Raises
+        ------
+        ProfileError
+            If the reservation would make the free count negative anywhere
+            in the interval.
+        """
+        if procs <= 0:
+            raise ValueError(f"procs must be positive, got {procs}")
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        if self.min_free_over(start, end) < procs:
+            raise ProfileError(
+                f"cannot reserve {procs} procs over [{start}, {end}): "
+                f"only {self.min_free_over(start, end)} free"
+            )
+        i_start = self._ensure_breakpoint(start)
+        i_end = self._ensure_breakpoint(end) if math.isfinite(end) else len(self._times)
+        for i in range(i_start, i_end):
+            self._free[i] -= procs
+
+    def add(self, start: float, end: float, procs: int) -> None:
+        """Release ``procs`` processors over ``[start, end)`` (inverse of subtract)."""
+        if procs <= 0:
+            raise ValueError(f"procs must be positive, got {procs}")
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        i_start = self._ensure_breakpoint(start)
+        i_end = self._ensure_breakpoint(end) if math.isfinite(end) else len(self._times)
+        for i in range(i_start, i_end):
+            new_value = self._free[i] + procs
+            if new_value > self.total_procs:
+                raise ProfileError(
+                    f"releasing {procs} procs over [{start}, {end}) exceeds capacity "
+                    f"{self.total_procs}"
+                )
+            self._free[i] = new_value
+
+    # ------------------------------------------------------------------ #
+    # Planning queries                                                   #
+    # ------------------------------------------------------------------ #
+    def earliest_slot(self, procs: int, duration: float, earliest: float) -> float:
+        """Earliest ``t >= earliest`` with ``procs`` free during ``[t, t+duration)``.
+
+        Returns ``math.inf`` when the request can never be satisfied (more
+        processors than the cluster owns).
+        """
+        if procs > self.total_procs:
+            return math.inf
+        if procs <= 0:
+            raise ValueError(f"procs must be positive, got {procs}")
+        earliest = max(earliest, self._times[0])
+        if duration <= 0:
+            # A zero-length reservation only needs an instant with enough
+            # free processors.
+            idx = bisect_right(self._times, earliest) - 1
+            while idx < len(self._times):
+                if self._free[idx] >= procs:
+                    return max(earliest, self._times[idx])
+                idx += 1
+            return math.inf
+
+        idx = bisect_right(self._times, earliest) - 1
+        candidate = earliest
+        while True:
+            # Scan forward from `candidate` checking that every segment that
+            # intersects [candidate, candidate + duration) has enough procs.
+            end_needed = candidate + duration
+            scan = idx
+            ok = True
+            while scan < len(self._times):
+                seg_start = self._times[scan]
+                seg_end = self._times[scan + 1] if scan + 1 < len(self._times) else math.inf
+                if seg_end <= candidate:
+                    scan += 1
+                    continue
+                if seg_start >= end_needed:
+                    break
+                if self._free[scan] < procs:
+                    ok = False
+                    # Restart the search at the end of the blocking segment.
+                    candidate = seg_end
+                    idx = scan + 1
+                    break
+                scan += 1
+            if ok:
+                return candidate
+            if idx >= len(self._times):
+                # Blocking segment was the final (infinite) one.
+                return math.inf
+
+    def reserve(self, procs: int, duration: float, earliest: float) -> float:
+        """Find the earliest slot and subtract the reservation; return its start."""
+        start = self.earliest_slot(procs, duration, earliest)
+        if not math.isfinite(start):
+            return start
+        if duration > 0:
+            self.subtract(start, start + duration, procs)
+        return start
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers                                               #
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "AvailabilityProfile":
+        """Independent copy (used for what-if estimation queries)."""
+        clone = AvailabilityProfile.__new__(AvailabilityProfile)
+        clone.total_procs = self.total_procs
+        clone._times = list(self._times)
+        clone._free = list(self._free)
+        return clone
+
+    @classmethod
+    def from_reservations(
+        cls,
+        total_procs: int,
+        start_time: float,
+        reservations: Iterable[Tuple[float, float, int]],
+    ) -> "AvailabilityProfile":
+        """Build a profile from ``(start, end, procs)`` reservations."""
+        profile = cls(total_procs, start_time)
+        for start, end, procs in reservations:
+            profile.subtract(max(start, start_time), end, procs)
+        return profile
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        points = ", ".join(f"({t:.0f}:{f})" for t, f in zip(self._times, self._free))
+        return f"AvailabilityProfile(cap={self.total_procs}, [{points}])"

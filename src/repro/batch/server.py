@@ -1,0 +1,312 @@
+"""Per-cluster batch server (the frontal node).
+
+The :class:`BatchServer` is the component deployed on the frontal of a
+parallel resource in the paper's architecture.  It owns one
+:class:`~repro.batch.cluster.ClusterState`, a waiting queue, and a local
+scheduling policy (FCFS or CBF), and it exposes to the middleware exactly
+the simple queries the paper allows itself:
+
+* :meth:`BatchServer.submit` — add a job to the waiting queue;
+* :meth:`BatchServer.cancel` — remove a *waiting* job from the queue;
+* :meth:`BatchServer.estimate_completion` — expected completion time of a
+  job if it were submitted now (or of a job already waiting here);
+* :meth:`BatchServer.waiting_jobs` — snapshot of the waiting queue.
+
+Internally the server replans the waiting queue whenever its state changes
+(submission, cancellation, job completion) and starts every job whose
+planned start equals the current simulated time.  Because processors are
+only released by completion events, replanning at state changes is enough:
+between two events no new start can become feasible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from repro.batch.cluster import ClusterState, RunningJob
+from repro.batch.job import Job, JobState
+from repro.batch.policies import BatchPolicy, get_policy
+from repro.batch.profile import AvailabilityProfile
+from repro.batch.schedule import ClusterPlan
+from repro.sim.events import EventType
+from repro.sim.kernel import SimulationKernel
+
+
+class BatchServerError(RuntimeError):
+    """Raised on invalid middleware requests (e.g. cancelling a running job)."""
+
+
+class BatchServer:
+    """Frontal of one cluster: waiting queue + local scheduling policy.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel used to schedule start and completion events.
+    name:
+        Cluster name.
+    total_procs:
+        Number of processors of the cluster.
+    speed:
+        Relative speed factor (1.0 = reference cluster).
+    policy:
+        Local scheduling policy (:class:`BatchPolicy` member or its name).
+    on_completion:
+        Optional callback invoked as ``on_completion(job)`` whenever a job
+        finishes on this cluster (used by the grid simulation to collect
+        results).
+    on_start:
+        Optional callback invoked as ``on_start(job)`` whenever a job starts
+        executing on this cluster (used by the multi-submission agent to
+        cancel the other copies of a job).
+    """
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        name: str,
+        total_procs: int,
+        speed: float = 1.0,
+        policy: "BatchPolicy | str" = BatchPolicy.FCFS,
+        on_completion: Optional[Callable[[Job], None]] = None,
+        on_start: Optional[Callable[[Job], None]] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.cluster = ClusterState(name, total_procs, speed)
+        if isinstance(policy, str):
+            policy = BatchPolicy(policy.lower())
+        self.policy = policy
+        self._plan_fn = get_policy(policy)
+        self.on_completion = on_completion
+        self.on_start = on_start
+        self._queue: List[Job] = []
+        # Planning cache: valid only for (timestamp, mutation counter).
+        self._cache_key: Optional[tuple[float, int]] = None
+        self._cached_plan: Optional[ClusterPlan] = None
+        self._cached_residual: Optional[AvailabilityProfile] = None
+        self._cached_last_start: float = 0.0
+        self._mutations = 0
+        # Statistics.
+        self.submitted_count = 0
+        self.cancelled_count = 0
+        self.started_count = 0
+        self.completed_count = 0
+        self.killed_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Properties                                                         #
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Cluster name."""
+        return self.cluster.name
+
+    @property
+    def speed(self) -> float:
+        """Relative speed factor of the cluster."""
+        return self.cluster.speed
+
+    @property
+    def total_procs(self) -> int:
+        """Number of processors of the cluster."""
+        return self.cluster.total_procs
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting jobs."""
+        return len(self._queue)
+
+    def waiting_jobs(self) -> List[Job]:
+        """Snapshot of the waiting queue, in queue order."""
+        return list(self._queue)
+
+    def work_left(self) -> float:
+        """Remaining declared work, in core-seconds.
+
+        This is what a "least work left" meta-scheduling policy queries: the
+        walltime-based remaining occupation of the running jobs plus the
+        full walltime-based demand of the waiting queue.
+        """
+        now = self.kernel.now
+        running = sum(
+            entry.procs * max(0.0, entry.walltime_end - now)
+            for entry in self.cluster.running_jobs()
+        )
+        waiting = sum(job.procs * job.walltime_on(self.speed) for job in self._queue)
+        return running + waiting
+
+    def has_waiting(self, job: Job) -> bool:
+        """True if the job is currently waiting in this server's queue."""
+        return any(j.job_id == job.job_id for j in self._queue)
+
+    def fits(self, job: Job) -> bool:
+        """True if the job's processor request fits on this cluster."""
+        return self.cluster.fits(job)
+
+    # ------------------------------------------------------------------ #
+    # Middleware-facing operations                                       #
+    # ------------------------------------------------------------------ #
+    def submit(self, job: Job) -> None:
+        """Append a job to the waiting queue and try to start jobs."""
+        if not self.cluster.fits(job):
+            raise BatchServerError(
+                f"job {job.job_id} needs {job.procs} procs but cluster "
+                f"{self.name} only has {self.total_procs}"
+            )
+        if self.has_waiting(job) or self.cluster.is_running(job.job_id):
+            raise BatchServerError(f"job {job.job_id} is already known to cluster {self.name}")
+        job.state = JobState.WAITING
+        job.cluster = self.name
+        job.local_submit_time = self.kernel.now
+        self._queue.append(job)
+        self.submitted_count += 1
+        self._invalidate()
+        self._schedule_pass()
+
+    def cancel(self, job: Job) -> None:
+        """Remove a *waiting* job from the queue.
+
+        Running jobs cannot be cancelled (the paper's reallocation only ever
+        moves jobs in the waiting state).
+        """
+        for index, queued in enumerate(self._queue):
+            if queued.job_id == job.job_id:
+                del self._queue[index]
+                job.state = JobState.CANCELLED
+                job.cluster = None
+                self.cancelled_count += 1
+                self._invalidate()
+                self._schedule_pass()
+                return
+        raise BatchServerError(f"job {job.job_id} is not waiting on cluster {self.name}")
+
+    def estimate_completion(self, job: Job) -> float:
+        """Expected completion time (ECT) of ``job`` on this cluster.
+
+        * If the job is already waiting here, this is its currently planned
+          completion time.
+        * Otherwise it is the completion the job would obtain if it were
+          submitted right now (placed at the end of the waiting queue, with
+          back-filling when the policy is CBF).
+        * ``math.inf`` when the job cannot fit on this cluster.
+        """
+        if not self.cluster.fits(job):
+            return math.inf
+        plan, residual, last_start = self._planning_state()
+        if job.job_id in plan:
+            return plan.planned_end(job.job_id)
+        duration = job.walltime_on(self.speed)
+        earliest = last_start if self.policy is BatchPolicy.FCFS else self.kernel.now
+        start = residual.earliest_slot(job.procs, duration, earliest)
+        if not math.isfinite(start):
+            return math.inf
+        return start + duration
+
+    def planned_completion(self, job: Job) -> float:
+        """Planned completion time of a job already waiting on this cluster."""
+        plan, _, _ = self._planning_state()
+        if job.job_id not in plan:
+            raise BatchServerError(f"job {job.job_id} is not waiting on cluster {self.name}")
+        return plan.planned_end(job.job_id)
+
+    def planned_schedule(self) -> ClusterPlan:
+        """Current plan of the waiting queue (one entry per waiting job)."""
+        plan, _, _ = self._planning_state()
+        return plan
+
+    def running_snapshot(self) -> List[RunningJob]:
+        """Snapshot of the running jobs (start time and walltime-based end)."""
+        return list(self.cluster.running_jobs())
+
+    # ------------------------------------------------------------------ #
+    # Internal scheduling                                                #
+    # ------------------------------------------------------------------ #
+    def _invalidate(self) -> None:
+        self._mutations += 1
+        self._cache_key = None
+
+    def _planning_state(self) -> tuple[ClusterPlan, AvailabilityProfile, float]:
+        """Current plan, residual profile and FCFS frontier (cached per event)."""
+        key = (self.kernel.now, self._mutations)
+        if self._cache_key == key:
+            assert self._cached_plan is not None and self._cached_residual is not None
+            return self._cached_plan, self._cached_residual, self._cached_last_start
+        now = self.kernel.now
+        profile = self.cluster.build_profile(now)
+        plan = self._plan_fn(profile, self._queue, self.speed, now, self.name)
+        last_start = now
+        for entry in plan:
+            if math.isfinite(entry.planned_start):
+                last_start = max(last_start, entry.planned_start)
+        self._cache_key = key
+        self._cached_plan = plan
+        self._cached_residual = profile
+        self._cached_last_start = last_start
+        return plan, profile, last_start
+
+    def _schedule_pass(self) -> None:
+        """Replan the waiting queue and start every job whose slot is now."""
+        if not self._queue:
+            return
+        plan, _, _ = self._planning_state()
+        now = self.kernel.now
+        startable = [entry.job_id for entry in plan if entry.planned_start == now]
+        if not startable:
+            return
+        startable_set = set(startable)
+        to_start = [job for job in self._queue if job.job_id in startable_set]
+        for job in to_start:
+            if job.state is not JobState.WAITING or job not in self._queue:
+                # Starting the previous job can trigger arbitrary observer
+                # callbacks (e.g. the multi-submission agent cancelling
+                # sibling copies), which may have removed or even started
+                # this candidate through a nested scheduling pass.
+                continue
+            if job.procs > self.cluster.free_procs:
+                # The plan treats jobs at their walltime boundary as already
+                # finished, but their completion events (same timestamp,
+                # higher priority) have not all fired yet, so the processors
+                # are not released.  Stop here; the pass triggered by the
+                # remaining completion events will start this job.
+                break
+            self._start_job(job)
+
+    def _start_job(self, job: Job) -> None:
+        """Transition a waiting job to running and schedule its completion."""
+        now = self.kernel.now
+        self._queue.remove(job)
+        self.cluster.start_job(job, now)
+        job.state = JobState.RUNNING
+        job.start_time = now
+        job.killed = job.exceeds_walltime()
+        duration = job.effective_runtime_on(self.speed)
+        self.started_count += 1
+        self._invalidate()
+        self.kernel.schedule_at(
+            now + duration,
+            self._complete_job,
+            job,
+            event_type=EventType.JOB_COMPLETION,
+        )
+        if self.on_start is not None:
+            self.on_start(job)
+
+    def _complete_job(self, job: Job) -> None:
+        """Completion (or walltime kill) of a running job."""
+        self.cluster.finish_job(job.job_id)
+        job.state = JobState.COMPLETED
+        job.completion_time = self.kernel.now
+        self.completed_count += 1
+        if job.killed:
+            self.killed_count += 1
+        self._invalidate()
+        self._schedule_pass()
+        if self.on_completion is not None:
+            self.on_completion(job)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchServer({self.name}, {self.policy}, "
+            f"running={self.cluster.running_count}, waiting={len(self._queue)})"
+        )

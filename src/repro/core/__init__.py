@@ -1,0 +1,43 @@
+"""Core contribution of the paper: rescheduling heuristics and evaluation metrics.
+
+* :mod:`repro.core.heuristics` — the six job-selection heuristics compared
+  by the paper (MCT, MinMin, MaxMin, MaxGain, MaxRelGain, Sufferage),
+  operating on per-job, per-cluster completion-time estimates.
+* :mod:`repro.core.results` — per-job records and per-run result containers
+  produced by the grid simulation.
+* :mod:`repro.core.metrics` — the four evaluation metrics of Section 3.4,
+  computed by comparing a run with reallocation against the baseline run
+  without reallocation.
+"""
+
+from repro.core.heuristics import (
+    HEURISTIC_NAMES,
+    Heuristic,
+    JobEstimate,
+    MaxGain,
+    MaxMin,
+    MaxRelGain,
+    MctOrder,
+    MinMin,
+    Sufferage,
+    get_heuristic,
+)
+from repro.core.metrics import ComparisonMetrics, compare_runs
+from repro.core.results import JobRecord, RunResult
+
+__all__ = [
+    "ComparisonMetrics",
+    "HEURISTIC_NAMES",
+    "Heuristic",
+    "JobEstimate",
+    "JobRecord",
+    "MaxGain",
+    "MaxMin",
+    "MaxRelGain",
+    "MctOrder",
+    "MinMin",
+    "RunResult",
+    "Sufferage",
+    "compare_runs",
+    "get_heuristic",
+]

@@ -1,0 +1,239 @@
+"""Job-selection heuristics for the reallocation algorithms.
+
+Section 2.2.2 of the paper compares one online heuristic (MCT) and five
+offline heuristics (MinMin, MaxMin, MaxGain, MaxRelGain, Sufferage).  At
+each step of a reallocation event the heuristic picks, among the remaining
+candidate jobs, the next one to (re)schedule.  The inputs of a decision are
+the per-cluster expected completion times (ECTs) of every candidate,
+captured in :class:`JobEstimate`.
+
+All heuristics are deterministic: ties on the selection criterion are
+broken by the job's submission time and then its id, so experiments are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Type
+
+from repro.batch.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class JobEstimate:
+    """Per-cluster completion estimates of one candidate job.
+
+    Parameters
+    ----------
+    job:
+        The candidate job.
+    current_cluster:
+        Cluster where the job currently waits (Algorithm 1) or waited
+        before being cancelled (Algorithm 2).
+    current_ect:
+        Expected completion time at its current (or previous) location.
+    ects:
+        Expected completion time on every cluster of the platform the job
+        fits on, including the current one.
+    """
+
+    job: Job
+    current_cluster: Optional[str]
+    current_ect: float
+    ects: Dict[str, float]
+
+    # ------------------------------------------------------------------ #
+    # Derived values used by the heuristics                              #
+    # ------------------------------------------------------------------ #
+    @property
+    def best_cluster(self) -> Optional[str]:
+        """Cluster with the minimum ECT (``None`` if the job fits nowhere)."""
+        if not self.ects:
+            return None
+        return min(self.ects.items(), key=lambda item: (item[1], item[0]))[0]
+
+    @property
+    def best_ect(self) -> float:
+        """Minimum ECT over all clusters."""
+        if not self.ects:
+            return math.inf
+        return min(self.ects.values())
+
+    @property
+    def second_best_ect(self) -> float:
+        """Second smallest ECT (equals :attr:`best_ect` with a single cluster)."""
+        if not self.ects:
+            return math.inf
+        values = sorted(self.ects.values())
+        return values[1] if len(values) > 1 else values[0]
+
+    @property
+    def best_other_cluster(self) -> Optional[str]:
+        """Cluster with the minimum ECT excluding the current one."""
+        others = {
+            name: ect for name, ect in self.ects.items() if name != self.current_cluster
+        }
+        if not others:
+            return None
+        return min(others.items(), key=lambda item: (item[1], item[0]))[0]
+
+    @property
+    def best_other_ect(self) -> float:
+        """Minimum ECT over the clusters other than the current one."""
+        others = [ect for name, ect in self.ects.items() if name != self.current_cluster]
+        return min(others) if others else math.inf
+
+    @property
+    def gain(self) -> float:
+        """Seconds gained by moving to the best cluster (may be negative)."""
+        best = self.best_ect
+        if not math.isfinite(best) or not math.isfinite(self.current_ect):
+            return -math.inf if not math.isfinite(best) else math.inf
+        return self.current_ect - best
+
+    @property
+    def relative_gain(self) -> float:
+        """Gain divided by the job's processor count (MaxRelGain criterion)."""
+        return self.gain / self.job.procs
+
+    @property
+    def sufferage(self) -> float:
+        """Difference between the two best ECTs (Sufferage criterion)."""
+        best = self.best_ect
+        second = self.second_best_ect
+        if not math.isfinite(best):
+            return 0.0
+        if not math.isfinite(second):
+            return math.inf
+        return second - best
+
+
+def _tie_break(estimate: JobEstimate) -> Tuple[float, int]:
+    return (estimate.job.submit_time, estimate.job.job_id)
+
+
+class Heuristic:
+    """Base class of the selection heuristics.
+
+    Subclasses implement :meth:`key`, the value to be minimised when
+    choosing the next job.  ``name`` is the identifier used in tables and
+    configuration files; ``online`` is True for heuristics whose ordering
+    does not depend on the ECTs (the paper's O(n) case).
+    """
+
+    name: str = "abstract"
+    online: bool = False
+
+    def key(self, estimate: JobEstimate) -> float:  # pragma: no cover - abstract
+        """Selection key (minimised) for one candidate."""
+        raise NotImplementedError
+
+    def select(self, candidates: Sequence[JobEstimate]) -> JobEstimate:
+        """Pick the next job among ``candidates``.
+
+        Raises
+        ------
+        ValueError
+            If ``candidates`` is empty.
+        """
+        if not candidates:
+            raise ValueError(f"{self.name}: cannot select from an empty candidate set")
+        return min(candidates, key=lambda est: (self.key(est), _tie_break(est)))
+
+    def order(self, candidates: Sequence[JobEstimate]) -> list[JobEstimate]:
+        """Full ordering of the candidates (best first); used by analyses."""
+        return sorted(candidates, key=lambda est: (self.key(est), _tie_break(est)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class MctOrder(Heuristic):
+    """MCT: take jobs sequentially in their submission order (online)."""
+
+    name = "mct"
+    online = True
+
+    def key(self, estimate: JobEstimate) -> float:
+        return estimate.job.submit_time
+
+
+class MinMin(Heuristic):
+    """MinMin: pick the job with the smallest best ECT (favours small jobs)."""
+
+    name = "minmin"
+
+    def key(self, estimate: JobEstimate) -> float:
+        return estimate.best_ect
+
+
+class MaxMin(Heuristic):
+    """MaxMin: pick the job with the largest best ECT (favours large jobs)."""
+
+    name = "maxmin"
+
+    def key(self, estimate: JobEstimate) -> float:
+        best = estimate.best_ect
+        return -best if math.isfinite(best) else math.inf
+
+
+class MaxGain(Heuristic):
+    """MaxGain: pick the job whose move yields the largest absolute gain."""
+
+    name = "maxgain"
+
+    def key(self, estimate: JobEstimate) -> float:
+        gain = estimate.gain
+        return -gain if math.isfinite(gain) else math.inf
+
+
+class MaxRelGain(Heuristic):
+    """MaxRelGain: MaxGain divided by the processor count (favours small jobs)."""
+
+    name = "maxrelgain"
+
+    def key(self, estimate: JobEstimate) -> float:
+        gain = estimate.relative_gain
+        return -gain if math.isfinite(gain) else math.inf
+
+
+class Sufferage(Heuristic):
+    """Sufferage: pick the job that suffers most from losing its best cluster."""
+
+    name = "sufferage"
+
+    def key(self, estimate: JobEstimate) -> float:
+        value = estimate.sufferage
+        return -value if math.isfinite(value) else -math.inf
+
+
+_HEURISTICS: Dict[str, Type[Heuristic]] = {
+    cls.name: cls
+    for cls in (MctOrder, MinMin, MaxMin, MaxGain, MaxRelGain, Sufferage)
+}
+
+#: Canonical heuristic ordering used by every table of the paper.
+HEURISTIC_NAMES: Tuple[str, ...] = ("mct", "minmin", "maxmin", "maxgain", "maxrelgain", "sufferage")
+
+#: Pretty-printed heuristic labels, matching the paper's rows.
+HEURISTIC_LABELS: Dict[str, str] = {
+    "mct": "Mct",
+    "minmin": "MinMin",
+    "maxmin": "MaxMin",
+    "maxgain": "MaxGain",
+    "maxrelgain": "MaxRelGain",
+    "sufferage": "Sufferage",
+}
+
+
+def get_heuristic(name: "str | Heuristic") -> Heuristic:
+    """Instantiate a heuristic from its name (case-insensitive)."""
+    if isinstance(name, Heuristic):
+        return name
+    key = name.lower().replace("-c", "").strip()
+    if key not in _HEURISTICS:
+        valid = ", ".join(HEURISTIC_NAMES)
+        raise KeyError(f"unknown heuristic {name!r}; expected one of {valid}")
+    return _HEURISTICS[key]()

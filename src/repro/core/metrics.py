@@ -1,0 +1,120 @@
+"""Evaluation metrics of Section 3.4 of the paper.
+
+Every metric compares a run *with* reallocation against the *same* scenario
+run *without* reallocation (the reference experiment):
+
+* **Jobs impacted by reallocation** — percentage of jobs whose completion
+  time changed (system metric, Tables 2, 3, 10, 11).
+* **Number of reallocations** — how many times jobs were moved between
+  clusters; a job moved twice counts twice (system metric, Tables 4, 5,
+  12, 13).
+* **Jobs finishing earlier** — among the impacted jobs, the percentage that
+  finished earlier with reallocation (user metric, Tables 6, 7, 14, 15).
+* **Relative average response time** — mean response time of the impacted
+  jobs with reallocation divided by their mean response time without; a
+  value below 1 is a gain (user metric, Tables 8, 9, 16, 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.results import RunResult
+
+#: Completion-time differences below this many seconds are considered
+#: unchanged (guards against floating-point noise in the simulation).
+COMPLETION_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonMetrics:
+    """The four metrics of the paper for one (baseline, reallocation) pair."""
+
+    #: number of jobs completed in both runs (the comparison population)
+    compared_jobs: int
+    #: number of jobs whose completion time changed
+    impacted_jobs: int
+    #: percentage of jobs whose completion time changed
+    pct_impacted: float
+    #: number of reallocations performed by the agent
+    reallocations: int
+    #: among impacted jobs, number finishing earlier with reallocation
+    earlier_jobs: int
+    #: among impacted jobs, percentage finishing earlier with reallocation
+    pct_earlier: float
+    #: mean response time of impacted jobs with reallocation divided by
+    #: their mean response time without (1.0 when no job was impacted)
+    relative_response_time: float
+
+    @property
+    def pct_later(self) -> float:
+        """Among impacted jobs, percentage finishing later with reallocation."""
+        return 100.0 - self.pct_earlier if self.impacted_jobs else 0.0
+
+    @property
+    def response_time_gain_pct(self) -> float:
+        """Gain on the average response time, in percent (positive = faster)."""
+        return (1.0 - self.relative_response_time) * 100.0
+
+
+def _impacted_job_ids(
+    baseline: RunResult,
+    realloc: RunResult,
+    tolerance: float,
+) -> Tuple[List[int], List[int]]:
+    """Ids of jobs completed in both runs, and the subset whose completion changed."""
+    base_completions = baseline.completion_times()
+    realloc_completions = realloc.completion_times()
+    common = sorted(set(base_completions) & set(realloc_completions))
+    impacted = [
+        job_id
+        for job_id in common
+        if abs(realloc_completions[job_id] - base_completions[job_id]) > tolerance
+    ]
+    return common, impacted
+
+
+def compare_runs(
+    baseline: RunResult,
+    realloc: RunResult,
+    tolerance: float = COMPLETION_TOLERANCE,
+) -> ComparisonMetrics:
+    """Compute the paper's four metrics for a (baseline, reallocation) pair.
+
+    Both runs must cover the same trace; jobs missing from either run
+    (never completed) are excluded from the comparison, as in the paper
+    where only jobs with a completion time can be compared.
+    """
+    common, impacted = _impacted_job_ids(baseline, realloc, tolerance)
+    n_common = len(common)
+    n_impacted = len(impacted)
+
+    base_completions = baseline.completion_times()
+    realloc_completions = realloc.completion_times()
+    earlier = sum(
+        1 for job_id in impacted if realloc_completions[job_id] < base_completions[job_id]
+    )
+
+    if n_impacted:
+        base_mean = sum(
+            base_completions[job_id] - baseline[job_id].submit_time for job_id in impacted
+        ) / n_impacted
+        realloc_mean = sum(
+            realloc_completions[job_id] - realloc[job_id].submit_time for job_id in impacted
+        ) / n_impacted
+        relative = realloc_mean / base_mean if base_mean > 0 else 1.0
+        pct_earlier = 100.0 * earlier / n_impacted
+    else:
+        relative = 1.0
+        pct_earlier = 0.0
+
+    return ComparisonMetrics(
+        compared_jobs=n_common,
+        impacted_jobs=n_impacted,
+        pct_impacted=100.0 * n_impacted / n_common if n_common else 0.0,
+        reallocations=realloc.total_reallocations,
+        earlier_jobs=earlier,
+        pct_earlier=pct_earlier,
+        relative_response_time=relative,
+    )

@@ -1,0 +1,170 @@
+"""Result containers produced by the grid simulation.
+
+A :class:`RunResult` is the immutable outcome of one simulated experiment:
+one :class:`JobRecord` per job of the trace plus run-level counters
+(number of reallocations, simulated makespan, ...).  The evaluation metrics
+of the paper (:mod:`repro.core.metrics`) are computed by comparing two
+``RunResult`` objects over the same trace — one with reallocation, one
+without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional
+
+from repro.batch.job import Job, JobState
+
+
+@dataclass(frozen=True, slots=True)
+class JobRecord:
+    """Final state of one job at the end of a run."""
+
+    job_id: int
+    submit_time: float
+    procs: int
+    runtime: float
+    walltime: float
+    origin_site: Optional[str]
+    final_cluster: Optional[str]
+    start_time: Optional[float]
+    completion_time: Optional[float]
+    state: JobState
+    killed: bool
+    reallocation_count: int
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Completion minus submission, or ``None`` for unfinished jobs."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.submit_time
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Start minus submission, or ``None`` for jobs that never started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobRecord":
+        """Snapshot the final state of a live :class:`~repro.batch.job.Job`."""
+        return cls(
+            job_id=job.job_id,
+            submit_time=job.submit_time,
+            procs=job.procs,
+            runtime=job.runtime,
+            walltime=job.walltime,
+            origin_site=job.origin_site,
+            final_cluster=job.cluster,
+            start_time=job.start_time,
+            completion_time=job.completion_time,
+            state=job.state,
+            killed=job.killed,
+            reallocation_count=job.reallocation_count,
+        )
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of one simulated experiment.
+
+    Parameters
+    ----------
+    label:
+        Human-readable description of the configuration.
+    records:
+        Mapping from job id to :class:`JobRecord`.
+    total_reallocations:
+        Number of job moves performed by the reallocation agent (0 for the
+        baseline runs).
+    reallocation_events:
+        Number of reallocation ticks that fired.
+    makespan:
+        Simulated time at which the last job completed.
+    metadata:
+        Free-form configuration details (scenario, platform, policy, ...).
+    """
+
+    label: str
+    records: Dict[int, JobRecord] = field(default_factory=dict)
+    total_reallocations: int = 0
+    reallocation_events: int = 0
+    makespan: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_jobs(
+        cls,
+        label: str,
+        jobs: Iterable[Job],
+        total_reallocations: int = 0,
+        reallocation_events: int = 0,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> "RunResult":
+        """Build a result from the final state of the trace's jobs."""
+        records = {job.job_id: JobRecord.from_job(job) for job in jobs}
+        makespan = max(
+            (r.completion_time for r in records.values() if r.completion_time is not None),
+            default=0.0,
+        )
+        return cls(
+            label=label,
+            records=records,
+            total_reallocations=total_reallocations,
+            reallocation_events=reallocation_events,
+            makespan=makespan,
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Access                                                             #
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self.records.values())
+
+    def __getitem__(self, job_id: int) -> JobRecord:
+        return self.records[job_id]
+
+    @property
+    def completed_count(self) -> int:
+        """Number of jobs that finished."""
+        return sum(1 for r in self.records.values() if r.state is JobState.COMPLETED)
+
+    @property
+    def rejected_count(self) -> int:
+        """Number of jobs that fit on no cluster of the platform."""
+        return sum(1 for r in self.records.values() if r.state is JobState.REJECTED)
+
+    @property
+    def killed_count(self) -> int:
+        """Number of jobs killed at their walltime."""
+        return sum(1 for r in self.records.values() if r.killed)
+
+    def completion_times(self) -> Dict[int, float]:
+        """Job id -> completion time, for completed jobs only."""
+        return {
+            job_id: record.completion_time
+            for job_id, record in self.records.items()
+            if record.completion_time is not None
+        }
+
+    def response_times(self) -> Dict[int, float]:
+        """Job id -> response time, for completed jobs only."""
+        return {
+            job_id: record.response_time
+            for job_id, record in self.records.items()
+            if record.response_time is not None
+        }
+
+    def mean_response_time(self) -> float:
+        """Mean response time over all completed jobs (0.0 if none completed)."""
+        values = list(self.response_times().values())
+        return sum(values) / len(values) if values else 0.0

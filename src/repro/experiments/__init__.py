@@ -1,0 +1,50 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+* :mod:`repro.experiments.config` — experiment configurations and the
+  default (scaled-down) sizing used by the benchmark suite.
+* :mod:`repro.experiments.runner` — runs single experiments and full
+  sweeps, with caching so the sixteen tables that share the same 364
+  underlying simulations do not re-run them.
+* :mod:`repro.experiments.tables` — builders for Tables 1–17.
+* :mod:`repro.experiments.figures` — builders for Figures 1 and 2.
+* :mod:`repro.experiments.report` — plain-text rendering of tables and
+  Gantt charts.
+* :mod:`repro.experiments.paper_data` — reference values from the paper
+  (Table 1 and the AVG columns) used for paper-vs-measured reporting.
+"""
+
+from repro.experiments.config import (
+    DEFAULT_BENCH_TARGET_JOBS,
+    ExperimentConfig,
+    SweepConfig,
+    bench_scale,
+)
+from repro.experiments.figures import figure1_example, figure2_side_effects
+from repro.experiments.runner import ExperimentRunner, SweepResult
+from repro.experiments.tables import (
+    TableResult,
+    comparison_summary,
+    table_early,
+    table_impacted,
+    table_reallocations,
+    table_response,
+    table_workload,
+)
+
+__all__ = [
+    "DEFAULT_BENCH_TARGET_JOBS",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "SweepConfig",
+    "SweepResult",
+    "TableResult",
+    "bench_scale",
+    "comparison_summary",
+    "figure1_example",
+    "figure2_side_effects",
+    "table_early",
+    "table_impacted",
+    "table_reallocations",
+    "table_response",
+    "table_workload",
+]

@@ -1,0 +1,175 @@
+"""Experiment configurations.
+
+An :class:`ExperimentConfig` pins down everything that defines one of the
+paper's 364 simulations: the scenario (workload), the platform flavour
+(homogeneous or heterogeneous), the local batch policy, whether and how
+reallocation runs, and the sizing knobs (scale and seed) specific to this
+reproduction.
+
+The paper replays the full traces (up to 133 135 jobs); this reproduction
+runs on synthetic traces whose size is controlled by ``scale``.  The
+benchmark suite sizes every scenario to roughly
+:data:`DEFAULT_BENCH_TARGET_JOBS` jobs via :func:`bench_scale`, so a full
+table sweep finishes in minutes on a laptop while preserving the offered
+load of each scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.heuristics import HEURISTIC_NAMES
+from repro.workload.scenarios import SCENARIO_NAMES, get_scenario
+
+#: Approximate number of jobs per scenario used by the benchmark harness.
+DEFAULT_BENCH_TARGET_JOBS = 300
+
+#: Batch policies compared by the paper (rows of every table).
+BATCH_POLICIES: Tuple[str, ...] = ("fcfs", "cbf")
+
+
+def bench_scale(scenario_name: str, target_jobs: int = DEFAULT_BENCH_TARGET_JOBS) -> float:
+    """Scale factor giving roughly ``target_jobs`` jobs for a scenario.
+
+    The paper's scenarios differ by more than an order of magnitude in job
+    count (9 182 to 133 135 jobs); scaling each to the same target keeps
+    every benchmark comparable in cost.
+    """
+    if target_jobs <= 0:
+        raise ValueError(f"target_jobs must be positive, got {target_jobs}")
+    total = get_scenario(scenario_name).total_jobs
+    return min(1.0, target_jobs / total)
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Full description of one simulation run.
+
+    Parameters
+    ----------
+    scenario:
+        Workload scenario name (``jan`` .. ``jun``, ``pwa-g5k``).
+    heterogeneous:
+        Platform flavour (cluster speed factors of Section 3.2).
+    batch_policy:
+        Local scheduling policy of every cluster (``fcfs`` or ``cbf``).
+    algorithm:
+        ``None`` for the baseline (no reallocation), ``"standard"`` for
+        Algorithm 1, ``"cancellation"`` for Algorithm 2.
+    heuristic:
+        Job-selection heuristic of the reallocation agent (ignored for the
+        baseline).
+    scale:
+        Trace scale factor (1.0 = the paper's full volume).
+    seed:
+        Workload generation seed.
+    reallocation_period / reallocation_threshold:
+        Timing parameters of the reallocation agent (paper defaults).
+    mapping_policy:
+        Online mapping policy of the meta-scheduler.
+    """
+
+    scenario: str
+    heterogeneous: bool = False
+    batch_policy: str = "fcfs"
+    algorithm: Optional[str] = None
+    heuristic: str = "mct"
+    scale: float = 0.02
+    seed: int = 20100326
+    reallocation_period: float = 3600.0
+    reallocation_threshold: float = 60.0
+    mapping_policy: str = "mct"
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIO_NAMES:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; expected one of {SCENARIO_NAMES}"
+            )
+        if self.batch_policy not in BATCH_POLICIES:
+            raise ValueError(
+                f"unknown batch policy {self.batch_policy!r}; expected one of {BATCH_POLICIES}"
+            )
+        if self.algorithm is not None and self.algorithm not in ("standard", "cancellation"):
+            raise ValueError(
+                f"algorithm must be None, 'standard' or 'cancellation', got {self.algorithm!r}"
+            )
+        if self.algorithm is not None and self.heuristic not in HEURISTIC_NAMES:
+            raise ValueError(
+                f"unknown heuristic {self.heuristic!r}; expected one of {HEURISTIC_NAMES}"
+            )
+        if self.scale <= 0 or self.scale > 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+    @property
+    def is_baseline(self) -> bool:
+        """True for the reference experiments without reallocation."""
+        return self.algorithm is None
+
+    def baseline(self) -> "ExperimentConfig":
+        """The reference configuration this experiment is compared against."""
+        return replace(self, algorithm=None, heuristic="mct")
+
+    def workload_key(self) -> Tuple[str, bool, float, int]:
+        """Key identifying the generated trace (shared by baseline and realloc)."""
+        return (self.scenario, self.heterogeneous, self.scale, self.seed)
+
+    def label(self) -> str:
+        """Short human-readable identifier."""
+        flavour = "heter" if self.heterogeneous else "homog"
+        if self.is_baseline:
+            return f"{self.scenario}/{flavour}/{self.batch_policy}/baseline"
+        return (
+            f"{self.scenario}/{flavour}/{self.batch_policy}/"
+            f"{self.algorithm}/{self.heuristic}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepConfig:
+    """Parameters of a full table sweep (one of the paper's four groups).
+
+    A sweep covers all seven scenarios, both batch policies and all six
+    heuristics for one reallocation algorithm on one platform flavour —
+    i.e. one quarter of the paper's experiments, feeding four tables.
+    """
+
+    algorithm: str
+    heterogeneous: bool
+    scenarios: Tuple[str, ...] = SCENARIO_NAMES
+    batch_policies: Tuple[str, ...] = BATCH_POLICIES
+    heuristics: Tuple[str, ...] = HEURISTIC_NAMES
+    target_jobs: int = DEFAULT_BENCH_TARGET_JOBS
+    seed: int = 20100326
+    reallocation_period: float = 3600.0
+    reallocation_threshold: float = 60.0
+    mapping_policy: str = "mct"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("standard", "cancellation"):
+            raise ValueError(
+                f"algorithm must be 'standard' or 'cancellation', got {self.algorithm!r}"
+            )
+
+    def configs(self) -> list[ExperimentConfig]:
+        """Every reallocation configuration of the sweep."""
+        result = []
+        for scenario in self.scenarios:
+            scale = bench_scale(scenario, self.target_jobs)
+            for policy in self.batch_policies:
+                for heuristic in self.heuristics:
+                    result.append(
+                        ExperimentConfig(
+                            scenario=scenario,
+                            heterogeneous=self.heterogeneous,
+                            batch_policy=policy,
+                            algorithm=self.algorithm,
+                            heuristic=heuristic,
+                            scale=scale,
+                            seed=self.seed,
+                            reallocation_period=self.reallocation_period,
+                            reallocation_threshold=self.reallocation_threshold,
+                            mapping_policy=self.mapping_policy,
+                        )
+                    )
+        return result

@@ -1,0 +1,283 @@
+"""Builders for Figures 1 and 2 of the paper.
+
+The two figures of the paper are illustrative schedules rather than
+measured results:
+
+* **Figure 1** shows the mechanism: two homogeneous clusters, one with a
+  long waiting queue and one whose running job finished before its
+  walltime; at the reallocation event the waiting jobs *h* and *i* migrate
+  to the less loaded cluster.  :func:`figure1_example` reconstructs exactly
+  that situation with the real simulator objects and returns the planned
+  schedules before and after the reallocation event.
+* **Figure 2** shows the side effects: because plans are built from
+  over-estimated walltimes, a reallocation can advance some jobs and delay
+  others.  :func:`figure2_side_effects` runs a small scenario with and
+  without reallocation and classifies every impacted job as advanced or
+  delayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.batch.job import Job
+from repro.batch.server import BatchServer
+from repro.core.metrics import compare_runs
+from repro.grid.reallocation import ReallocationAgent
+from repro.grid.simulation import GridSimulation
+from repro.platform.catalog import grid5000_platform
+from repro.platform.spec import ClusterSpec, PlatformSpec
+from repro.sim.kernel import SimulationKernel
+from repro.workload.scenarios import get_scenario
+
+
+# --------------------------------------------------------------------- #
+# Figure 1: the reallocation mechanism                                   #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class GanttEntry:
+    """One bar of a Gantt chart: a job occupying processors over an interval."""
+
+    job_label: str
+    job_id: int
+    cluster: str
+    procs: int
+    start: float
+    end: float
+    kind: str  # "running" or "planned"
+
+
+@dataclass(frozen=True, slots=True)
+class GanttSnapshot:
+    """State of every cluster at one instant (running + planned jobs)."""
+
+    time: float
+    entries: Tuple[GanttEntry, ...]
+
+    def for_cluster(self, cluster: str) -> List[GanttEntry]:
+        """Entries of one cluster, ordered by start time."""
+        return sorted(
+            (entry for entry in self.entries if entry.cluster == cluster),
+            key=lambda entry: (entry.start, entry.job_id),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Figure1Result:
+    """Before/after schedules of the Figure 1 example."""
+
+    before: GanttSnapshot
+    after: GanttSnapshot
+    moved_job_labels: Tuple[str, ...]
+    description: str
+
+
+_FIGURE1_LABELS: Dict[int, str] = {
+    1: "a", 2: "b", 6: "f", 7: "g", 8: "h", 9: "i", 10: "j",
+}
+
+
+def _snapshot(servers: List[BatchServer], labels: Dict[int, str], time: float) -> GanttSnapshot:
+    entries: List[GanttEntry] = []
+    for server in servers:
+        for running in server.running_snapshot():
+            entries.append(
+                GanttEntry(
+                    job_label=labels.get(running.job.job_id, str(running.job.job_id)),
+                    job_id=running.job.job_id,
+                    cluster=server.name,
+                    procs=running.procs,
+                    start=running.start_time,
+                    end=running.walltime_end,
+                    kind="running",
+                )
+            )
+        plan = server.planned_schedule()
+        for planned in plan:
+            entries.append(
+                GanttEntry(
+                    job_label=labels.get(planned.job_id, str(planned.job_id)),
+                    job_id=planned.job_id,
+                    cluster=server.name,
+                    procs=planned.procs,
+                    start=planned.planned_start,
+                    end=planned.planned_end,
+                    kind="planned",
+                )
+            )
+    return GanttSnapshot(time=time, entries=tuple(entries))
+
+
+def figure1_example(heuristic: str = "mct") -> Figure1Result:
+    """Reconstruct the two-cluster reallocation example of Figure 1.
+
+    Two homogeneous 4-processor clusters.  Cluster 1 runs jobs *a* and *b*
+    and queues *g*, *h*, *i*; cluster 2 runs job *f*, which finishes well
+    before its walltime, letting the queued job *j* start early.  At the
+    reallocation event (one hour in) jobs *h* and *i* obtain a better
+    expected completion time on cluster 2 and migrate, as in the paper.
+    """
+    kernel = SimulationKernel()
+    cluster1 = BatchServer(kernel, "cluster1", total_procs=4, policy="fcfs")
+    cluster2 = BatchServer(kernel, "cluster2", total_procs=4, policy="fcfs")
+    servers = [cluster1, cluster2]
+
+    def job(job_id: int, procs: int, runtime: float, walltime: float) -> Job:
+        return Job(job_id=job_id, submit_time=0.0, procs=procs, runtime=runtime, walltime=walltime)
+
+    # Cluster 1: fully busy for two hours, three jobs queued behind.
+    job_a = job(1, 2, 7200.0, 7200.0)
+    job_b = job(2, 2, 7200.0, 7200.0)
+    job_g = job(7, 4, 7200.0, 7200.0)
+    job_h = job(8, 2, 3600.0, 3600.0)
+    job_i = job(9, 2, 3600.0, 3600.0)
+    # Cluster 2: job f declared three hours but finishes after 30 minutes,
+    # releasing the whole cluster to the queued job j.
+    job_f = job(6, 4, 1800.0, 10800.0)
+    job_j = job(10, 4, 7200.0, 7200.0)
+
+    for item in (job_a, job_b, job_g, job_h, job_i):
+        cluster1.submit(item)
+    for item in (job_f, job_j):
+        cluster2.submit(item)
+
+    reallocation_time = 3600.0
+    kernel.run(until=reallocation_time)
+    before = _snapshot(servers, _FIGURE1_LABELS, kernel.now)
+
+    agent = ReallocationAgent(kernel, servers, heuristic=heuristic, algorithm="standard")
+    moved_before = {j.job_id: j.cluster for j in cluster1.waiting_jobs() + cluster2.waiting_jobs()}
+    agent.run_once()
+    after = _snapshot(servers, _FIGURE1_LABELS, kernel.now)
+
+    moved_labels = tuple(
+        _FIGURE1_LABELS[job_id]
+        for job_id, previous in sorted(moved_before.items())
+        for current in [_find_cluster(servers, job_id)]
+        if current is not None and current != previous
+    )
+    description = (
+        "Job f on cluster 2 finished before its walltime, so job j started "
+        "early and cluster 2 drains ahead of plan; at the reallocation event "
+        f"jobs {', '.join(moved_labels) or '(none)'} migrate from cluster 1 to cluster 2."
+    )
+    return Figure1Result(
+        before=before,
+        after=after,
+        moved_job_labels=moved_labels,
+        description=description,
+    )
+
+
+def _find_cluster(servers: List[BatchServer], job_id: int) -> str | None:
+    for server in servers:
+        if any(j.job_id == job_id for j in server.waiting_jobs()):
+            return server.name
+        if server.cluster.is_running(job_id):
+            return server.name
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Figure 2: side effects of a reallocation                               #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class JobDelta:
+    """Completion-time change of one job between baseline and reallocation."""
+
+    job_id: int
+    baseline_completion: float
+    realloc_completion: float
+
+    @property
+    def delta(self) -> float:
+        """Positive when the job finishes later with reallocation."""
+        return self.realloc_completion - self.baseline_completion
+
+
+@dataclass(frozen=True, slots=True)
+class Figure2Result:
+    """Advanced and delayed jobs of a reallocation run (Figure 2)."""
+
+    advanced: Tuple[JobDelta, ...]
+    delayed: Tuple[JobDelta, ...]
+    total_jobs: int
+    reallocations: int
+    description: str
+
+    @property
+    def impacted(self) -> int:
+        """Number of jobs whose completion time changed."""
+        return len(self.advanced) + len(self.delayed)
+
+
+def figure2_side_effects(
+    scenario_name: str = "may",
+    scale: float = 0.02,
+    heuristic: str = "mct",
+    seed: int = 20100326,
+) -> Figure2Result:
+    """Quantify the side effects illustrated by Figure 2.
+
+    Runs a small scenario with and without reallocation (Algorithm 1,
+    FCFS, homogeneous platform) and classifies every impacted job as
+    *advanced* (finishes earlier with reallocation) or *delayed* (finishes
+    later), which is exactly the phenomenon Figure 2 illustrates: because
+    plans are built from over-estimated walltimes, migrating a job frees
+    space some jobs exploit while others are pushed back.
+    """
+    platform = grid5000_platform(heterogeneous=False)
+    scenario = get_scenario(scenario_name)
+    jobs = scenario.generate(platform, scale=scale, seed=seed)
+
+    baseline = GridSimulation(
+        platform, [j.copy() for j in jobs], batch_policy="fcfs"
+    ).run()
+    realloc = GridSimulation(
+        platform,
+        [j.copy() for j in jobs],
+        batch_policy="fcfs",
+        reallocation="standard",
+        heuristic=heuristic,
+    ).run()
+
+    base_completions = baseline.completion_times()
+    realloc_completions = realloc.completion_times()
+    advanced: List[JobDelta] = []
+    delayed: List[JobDelta] = []
+    for job_id in sorted(set(base_completions) & set(realloc_completions)):
+        delta = JobDelta(job_id, base_completions[job_id], realloc_completions[job_id])
+        if delta.delta < -1e-6:
+            advanced.append(delta)
+        elif delta.delta > 1e-6:
+            delayed.append(delta)
+    metrics = compare_runs(baseline, realloc)
+    description = (
+        f"Scenario {scenario_name} at scale {scale}: {metrics.reallocations} reallocations "
+        f"changed the completion time of {metrics.impacted_jobs} jobs; "
+        f"{len(advanced)} finished earlier and {len(delayed)} later — the side effect "
+        "Figure 2 illustrates."
+    )
+    return Figure2Result(
+        advanced=tuple(advanced),
+        delayed=tuple(delayed),
+        total_jobs=len(jobs),
+        reallocations=metrics.reallocations,
+        description=description,
+    )
+
+
+# --------------------------------------------------------------------- #
+# A tiny two-cluster platform reused by the examples and the tests       #
+# --------------------------------------------------------------------- #
+def two_cluster_platform(procs: int = 4, heterogeneous: bool = False) -> PlatformSpec:
+    """Minimal two-cluster platform used by the figure examples and tests."""
+    speed2 = 1.4 if heterogeneous else 1.0
+    return PlatformSpec(
+        "figure-example",
+        (
+            ClusterSpec("cluster1", procs, 1.0),
+            ClusterSpec("cluster2", procs, speed2),
+        ),
+    )

@@ -1,0 +1,150 @@
+"""Reference values published in the paper.
+
+These are used for paper-vs-measured reporting (EXPERIMENTS.md and the
+benchmark output), not by the simulation itself.  For the twelve tables
+that publish an ``AVG`` column (percentages of impacted jobs, percentages
+of jobs finishing earlier, relative average response times) the AVG column
+is stored per batch policy and heuristic.  For the four reallocation-count
+tables (4, 5, 12, 13), which have no AVG column, the paper's textual
+summary is stored instead: the average and maximum number of reallocations
+expressed as a fraction of the scenario's job count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Heuristic row order used by every table of the paper.
+PAPER_HEURISTIC_ORDER: Tuple[str, ...] = (
+    "mct",
+    "minmin",
+    "maxmin",
+    "maxgain",
+    "maxrelgain",
+    "sufferage",
+)
+
+# --------------------------------------------------------------------- #
+# AVG columns of the metric tables                                       #
+# key: table number -> (batch policy, heuristic) -> published AVG value  #
+# --------------------------------------------------------------------- #
+_AVG_TABLES: Dict[int, Dict[Tuple[str, str], float]] = {
+    # Algorithm 1 (no cancellation), homogeneous platforms
+    2: {  # % of jobs whose completion time changed
+        ("fcfs", "mct"): 20.22, ("fcfs", "minmin"): 20.42, ("fcfs", "maxmin"): 20.46,
+        ("fcfs", "maxgain"): 19.76, ("fcfs", "maxrelgain"): 19.78, ("fcfs", "sufferage"): 20.20,
+        ("cbf", "mct"): 14.48, ("cbf", "minmin"): 14.20, ("cbf", "maxmin"): 14.58,
+        ("cbf", "maxgain"): 13.54, ("cbf", "maxrelgain"): 13.70, ("cbf", "sufferage"): 14.57,
+    },
+    # Algorithm 1, heterogeneous platforms
+    3: {
+        ("fcfs", "mct"): 18.08, ("fcfs", "minmin"): 18.13, ("fcfs", "maxmin"): 17.93,
+        ("fcfs", "maxgain"): 18.67, ("fcfs", "maxrelgain"): 18.45, ("fcfs", "sufferage"): 18.40,
+        ("cbf", "mct"): 15.99, ("cbf", "minmin"): 15.95, ("cbf", "maxmin"): 16.15,
+        ("cbf", "maxgain"): 16.64, ("cbf", "maxrelgain"): 16.59, ("cbf", "sufferage"): 15.87,
+    },
+    # Algorithm 1, homogeneous, % of impacted jobs finishing earlier
+    6: {
+        ("fcfs", "mct"): 58.43, ("fcfs", "minmin"): 60.03, ("fcfs", "maxmin"): 57.75,
+        ("fcfs", "maxgain"): 56.02, ("fcfs", "maxrelgain"): 59.69, ("fcfs", "sufferage"): 57.31,
+        ("cbf", "mct"): 61.47, ("cbf", "minmin"): 61.01, ("cbf", "maxmin"): 61.76,
+        ("cbf", "maxgain"): 58.13, ("cbf", "maxrelgain"): 58.10, ("cbf", "sufferage"): 61.33,
+    },
+    # Algorithm 1, heterogeneous, % earlier
+    7: {
+        ("fcfs", "mct"): 56.83, ("fcfs", "minmin"): 58.06, ("fcfs", "maxmin"): 55.89,
+        ("fcfs", "maxgain"): 56.24, ("fcfs", "maxrelgain"): 57.78, ("fcfs", "sufferage"): 55.42,
+        ("cbf", "mct"): 53.92, ("cbf", "minmin"): 56.13, ("cbf", "maxmin"): 53.34,
+        ("cbf", "maxgain"): 53.38, ("cbf", "maxrelgain"): 53.20, ("cbf", "sufferage"): 54.30,
+    },
+    # Algorithm 1, homogeneous, relative average response time
+    8: {
+        ("fcfs", "mct"): 0.99, ("fcfs", "minmin"): 0.90, ("fcfs", "maxmin"): 0.95,
+        ("fcfs", "maxgain"): 0.96, ("fcfs", "maxrelgain"): 0.94, ("fcfs", "sufferage"): 0.98,
+        ("cbf", "mct"): 0.94, ("cbf", "minmin"): 0.93, ("cbf", "maxmin"): 0.94,
+        ("cbf", "maxgain"): 0.95, ("cbf", "maxrelgain"): 0.95, ("cbf", "sufferage"): 0.95,
+    },
+    # Algorithm 1, heterogeneous, relative average response time
+    9: {
+        ("fcfs", "mct"): 0.90, ("fcfs", "minmin"): 0.94, ("fcfs", "maxmin"): 0.99,
+        ("fcfs", "maxgain"): 0.98, ("fcfs", "maxrelgain"): 0.93, ("fcfs", "sufferage"): 0.98,
+        ("cbf", "mct"): 0.88, ("cbf", "minmin"): 0.92, ("cbf", "maxmin"): 0.93,
+        ("cbf", "maxgain"): 0.91, ("cbf", "maxrelgain"): 0.93, ("cbf", "sufferage"): 0.92,
+    },
+    # Algorithm 2 (with cancellation), homogeneous, % impacted
+    10: {
+        ("fcfs", "mct"): 24.12, ("fcfs", "minmin"): 21.81, ("fcfs", "maxmin"): 23.45,
+        ("fcfs", "maxgain"): 22.09, ("fcfs", "maxrelgain"): 22.18, ("fcfs", "sufferage"): 22.12,
+        ("cbf", "mct"): 15.09, ("cbf", "minmin"): 16.47, ("cbf", "maxmin"): 15.10,
+        ("cbf", "maxgain"): 16.04, ("cbf", "maxrelgain"): 16.00, ("cbf", "sufferage"): 15.20,
+    },
+    # Algorithm 2, heterogeneous, % impacted
+    11: {
+        ("fcfs", "mct"): 18.82, ("fcfs", "minmin"): 17.34, ("fcfs", "maxmin"): 18.94,
+        ("fcfs", "maxgain"): 17.30, ("fcfs", "maxrelgain"): 16.94, ("fcfs", "sufferage"): 18.92,
+        ("cbf", "mct"): 16.82, ("cbf", "minmin"): 16.94, ("cbf", "maxmin"): 17.02,
+        ("cbf", "maxgain"): 17.41, ("cbf", "maxrelgain"): 17.14, ("cbf", "sufferage"): 17.28,
+    },
+    # Algorithm 2, homogeneous, % earlier
+    14: {
+        ("fcfs", "mct"): 61.18, ("fcfs", "minmin"): 71.17, ("fcfs", "maxmin"): 62.82,
+        ("fcfs", "maxgain"): 70.04, ("fcfs", "maxrelgain"): 71.61, ("fcfs", "sufferage"): 64.87,
+        ("cbf", "mct"): 62.87, ("cbf", "minmin"): 61.94, ("cbf", "maxmin"): 65.29,
+        ("cbf", "maxgain"): 63.92, ("cbf", "maxrelgain"): 62.84, ("cbf", "sufferage"): 61.33,
+    },
+    # Algorithm 2, heterogeneous, % earlier
+    15: {
+        ("fcfs", "mct"): 53.36, ("fcfs", "minmin"): 57.34, ("fcfs", "maxmin"): 57.18,
+        ("fcfs", "maxgain"): 56.98, ("fcfs", "maxrelgain"): 57.95, ("fcfs", "sufferage"): 58.06,
+        ("cbf", "mct"): 56.62, ("cbf", "minmin"): 59.84, ("cbf", "maxmin"): 58.02,
+        ("cbf", "maxgain"): 59.73, ("cbf", "maxrelgain"): 59.83, ("cbf", "sufferage"): 58.91,
+    },
+    # Algorithm 2, homogeneous, relative average response time
+    16: {
+        ("fcfs", "mct"): 0.76, ("fcfs", "minmin"): 0.61, ("fcfs", "maxmin"): 0.82,
+        ("fcfs", "maxgain"): 0.64, ("fcfs", "maxrelgain"): 0.63, ("fcfs", "sufferage"): 0.70,
+        ("cbf", "mct"): 0.86, ("cbf", "minmin"): 0.85, ("cbf", "maxmin"): 0.83,
+        ("cbf", "maxgain"): 0.82, ("cbf", "maxrelgain"): 0.84, ("cbf", "sufferage"): 0.86,
+    },
+    # Algorithm 2, heterogeneous, relative average response time
+    17: {
+        ("fcfs", "mct"): 0.76, ("fcfs", "minmin"): 0.72, ("fcfs", "maxmin"): 0.79,
+        ("fcfs", "maxgain"): 0.74, ("fcfs", "maxrelgain"): 0.74, ("fcfs", "sufferage"): 0.75,
+        ("cbf", "mct"): 0.84, ("cbf", "minmin"): 0.82, ("cbf", "maxmin"): 0.84,
+        ("cbf", "maxgain"): 0.84, ("cbf", "maxrelgain"): 0.83, ("cbf", "sufferage"): 0.82,
+    },
+}
+
+#: Textual summary of the reallocation-count tables: the paper reports the
+#: number of reallocations as a fraction of the number of jobs of each
+#: experiment (average and maximum), per algorithm.
+REALLOCATION_COUNT_SUMMARY: Dict[str, Dict[str, float]] = {
+    "standard": {"avg_fraction": 0.023, "max_fraction": 0.135},
+    "cancellation": {"avg_fraction": 0.058, "max_fraction": 0.288},
+}
+
+#: Headline conclusion of the paper: about 5 % of tasks finish sooner with a
+#: roughly 10 % average gain on response time, platform-dependent.
+HEADLINE_CLAIM = {"tasks_finishing_sooner_fraction": 0.05, "response_time_gain_fraction": 0.10}
+
+
+def paper_avg(table_number: int) -> Dict[Tuple[str, str], float]:
+    """Published AVG column of a metric table, keyed by (policy, heuristic).
+
+    Raises
+    ------
+    KeyError
+        For the reallocation-count tables (4, 5, 12, 13), which have no AVG
+        column — see :data:`REALLOCATION_COUNT_SUMMARY` instead.
+    """
+    if table_number not in _AVG_TABLES:
+        raise KeyError(
+            f"table {table_number} has no published AVG column; "
+            "available tables: " + ", ".join(str(t) for t in sorted(_AVG_TABLES))
+        )
+    return dict(_AVG_TABLES[table_number])
+
+
+def tables_with_avg() -> Tuple[int, ...]:
+    """Numbers of the tables whose AVG column is recorded here."""
+    return tuple(sorted(_AVG_TABLES))

@@ -1,0 +1,154 @@
+"""Plain-text rendering of tables, figures and summaries.
+
+The benchmark harness prints, for every regenerated table, the same rows
+the paper reports (one row per batch policy and heuristic, one column per
+scenario) plus a paper-vs-measured view of the AVG column when the paper
+published one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.heuristics import HEURISTIC_LABELS
+from repro.experiments.figures import Figure1Result, Figure2Result, GanttSnapshot
+from repro.experiments.tables import ComparisonSummary, TableResult
+
+
+def _format_value(value: float, decimals: int) -> str:
+    return f"{value:.{decimals}f}"
+
+
+def _heuristic_label(name: str, cancellation: bool = False) -> str:
+    label = HEURISTIC_LABELS.get(name, name)
+    return f"{label}-C" if cancellation else label
+
+
+def render_table(table: TableResult, decimals: int = 2) -> str:
+    """Render a :class:`TableResult` as an aligned plain-text table."""
+    cancellation = table.number is not None and table.number >= 10
+    header = ["Batch", "Heuristic", *table.columns]
+    body: List[List[str]] = []
+    for row in table.rows:
+        body.append(
+            [
+                row.batch_policy.upper(),
+                _heuristic_label(row.heuristic, cancellation),
+                *[_format_value(v, decimals) for v in row.values],
+            ]
+        )
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = []
+    title = f"Table {table.number}: {table.title}" if table.number else table.title
+    lines.append(title)
+    lines.append("-" * len(title))
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].rjust(widths[i]) for i in range(len(header))))
+    if table.paper_reference:
+        lines.append("")
+        lines.append("Paper AVG column vs measured AVG:")
+        avg_index = table.columns.index("AVG") if "AVG" in table.columns else None
+        for row in table.rows:
+            reference = table.paper_reference.get((row.batch_policy, row.heuristic))
+            if reference is None or avg_index is None:
+                continue
+            measured = row.values[avg_index]
+            lines.append(
+                f"  {row.batch_policy.upper():4s} {_heuristic_label(row.heuristic, cancellation):12s} "
+                f"paper={_format_value(reference, decimals):>8s}  "
+                f"measured={_format_value(measured, decimals):>8s}"
+            )
+    if table.notes:
+        lines.append("")
+        lines.append(table.notes)
+    return "\n".join(lines)
+
+
+def render_gantt(snapshot: GanttSnapshot, clusters: Sequence[str] | None = None) -> str:
+    """Render a schedule snapshot as a textual Gantt chart."""
+    lines = [f"t = {snapshot.time:.0f} s"]
+    cluster_names = clusters
+    if cluster_names is None:
+        cluster_names = sorted({entry.cluster for entry in snapshot.entries})
+    for cluster in cluster_names:
+        lines.append(f"  {cluster}:")
+        for entry in snapshot.for_cluster(cluster):
+            state = "RUN " if entry.kind == "running" else "PLAN"
+            lines.append(
+                f"    [{state}] job {entry.job_label:>3s}  procs={entry.procs:<3d} "
+                f"start={entry.start:>8.0f}  end={entry.end:>8.0f}"
+            )
+    return "\n".join(lines)
+
+
+def render_figure1(figure: Figure1Result) -> str:
+    """Render the Figure 1 example (schedules before and after reallocation)."""
+    lines = ["Figure 1: example of reallocation between two clusters", ""]
+    lines.append(figure.description)
+    lines.append("")
+    lines.append("Before reallocation:")
+    lines.append(render_gantt(figure.before))
+    lines.append("")
+    lines.append("After reallocation:")
+    lines.append(render_gantt(figure.after))
+    lines.append("")
+    lines.append(f"Moved jobs: {', '.join(figure.moved_job_labels) or '(none)'}")
+    return "\n".join(lines)
+
+
+def render_figure2(figure: Figure2Result, max_rows: int = 10) -> str:
+    """Render the Figure 2 side-effect analysis."""
+    lines = ["Figure 2: side effects of a reallocation", ""]
+    lines.append(figure.description)
+    lines.append("")
+    lines.append(f"{'advanced jobs':>15s}: {len(figure.advanced)}")
+    for delta in figure.advanced[:max_rows]:
+        lines.append(f"    job {delta.job_id:>6d}  {delta.delta:>+10.0f} s")
+    lines.append(f"{'delayed jobs':>15s}: {len(figure.delayed)}")
+    for delta in figure.delayed[:max_rows]:
+        lines.append(f"    job {delta.job_id:>6d}  {delta.delta:>+10.0f} s")
+    return "\n".join(lines)
+
+
+def render_comparison(summary: ComparisonSummary) -> str:
+    """Render the Algorithm 1 vs Algorithm 2 comparison (Section 4.3)."""
+    rows: List[Tuple[str, Dict[str, float]]] = [
+        (
+            "Algorithm 1 (no cancellation)",
+            {
+                "impacted %": summary.standard.mean_pct_impacted,
+                "realloc/job %": 100 * summary.standard.mean_reallocation_fraction,
+                "earlier %": summary.standard.mean_pct_earlier,
+                "rel. response": summary.standard.mean_relative_response,
+            },
+        ),
+        (
+            "Algorithm 2 (cancellation)",
+            {
+                "impacted %": summary.cancellation.mean_pct_impacted,
+                "realloc/job %": 100 * summary.cancellation.mean_reallocation_fraction,
+                "earlier %": summary.cancellation.mean_pct_earlier,
+                "rel. response": summary.cancellation.mean_relative_response,
+            },
+        ),
+    ]
+    lines = ["Algorithm comparison (averages over the sweep)", ""]
+    for label, values in rows:
+        parts = ", ".join(f"{key}={value:.2f}" for key, value in values.items())
+        lines.append(f"  {label}: {parts}")
+    lines.append("")
+    lines.append(
+        "Paper headline: about "
+        f"{100 * summary.headline['tasks_finishing_sooner_fraction']:.0f}% of tasks finish sooner "
+        f"with a {100 * summary.headline['response_time_gain_fraction']:.0f}% average gain on "
+        "response time, depending on the platform."
+    )
+    lines.append(
+        "Cancellation improves the mean relative response time: "
+        f"{summary.cancellation_improves_response}"
+    )
+    return "\n".join(lines)

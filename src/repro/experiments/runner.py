@@ -1,0 +1,156 @@
+"""Running experiments and sweeps.
+
+The :class:`ExperimentRunner` executes :class:`~repro.experiments.config.
+ExperimentConfig` descriptions and caches three things:
+
+* generated traces (keyed by scenario / flavour / scale / seed), so the
+  baseline and every reallocation configuration replay byte-identical
+  workloads;
+* run results, so the sixteen tables that share the paper's 364
+  experiments do not re-simulate them;
+* comparison metrics (baseline vs reallocation).
+
+The runner is deliberately in-memory and per-process: the benchmark suite
+creates one module-level runner that all table benches share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.batch.job import Job
+from repro.core.metrics import ComparisonMetrics, compare_runs
+from repro.core.results import RunResult
+from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.grid.simulation import GridSimulation
+from repro.platform.catalog import platform_for_scenario
+from repro.workload.scenarios import get_scenario
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Metrics of a full sweep, indexed by (batch policy, heuristic, scenario)."""
+
+    config: SweepConfig
+    metrics: Dict[Tuple[str, str, str], ComparisonMetrics] = field(default_factory=dict)
+
+    def get(self, batch_policy: str, heuristic: str, scenario: str) -> ComparisonMetrics:
+        """Metrics of one cell of the sweep."""
+        return self.metrics[(batch_policy, heuristic, scenario)]
+
+    def cells(self) -> Dict[Tuple[str, str, str], ComparisonMetrics]:
+        """All cells (copy)."""
+        return dict(self.metrics)
+
+
+class ExperimentRunner:
+    """Executes experiment configurations with caching.
+
+    Parameters
+    ----------
+    verbose:
+        When true, one progress line is printed per simulated experiment
+        (useful when regenerating the full table set from a terminal).
+    """
+
+    def __init__(self, verbose: bool = False) -> None:
+        self.verbose = verbose
+        self._trace_cache: Dict[Tuple, List[Job]] = {}
+        self._result_cache: Dict[ExperimentConfig, RunResult] = {}
+        self._metrics_cache: Dict[ExperimentConfig, ComparisonMetrics] = {}
+
+    # ------------------------------------------------------------------ #
+    # Workload and runs                                                  #
+    # ------------------------------------------------------------------ #
+    def workload(self, config: ExperimentConfig) -> List[Job]:
+        """Fresh copies of the trace of ``config`` (cached template)."""
+        key = config.workload_key()
+        template = self._trace_cache.get(key)
+        if template is None:
+            platform = platform_for_scenario(config.scenario, config.heterogeneous)
+            scenario = get_scenario(config.scenario)
+            template = scenario.generate(platform, scale=config.scale, seed=config.seed)
+            self._trace_cache[key] = template
+        return [job.copy() for job in template]
+
+    def run(self, config: ExperimentConfig) -> RunResult:
+        """Run one experiment (cached)."""
+        cached = self._result_cache.get(config)
+        if cached is not None:
+            return cached
+        platform = platform_for_scenario(config.scenario, config.heterogeneous)
+        jobs = self.workload(config)
+        simulation = GridSimulation(
+            platform,
+            jobs,
+            batch_policy=config.batch_policy,
+            mapping_policy=config.mapping_policy,
+            reallocation=config.algorithm,
+            heuristic=config.heuristic,
+            reallocation_period=config.reallocation_period,
+            reallocation_threshold=config.reallocation_threshold,
+            mapping_seed=config.seed,
+        )
+        result = simulation.run()
+        result.metadata["scenario"] = config.scenario
+        result.metadata["scale"] = config.scale
+        self._result_cache[config] = result
+        if self.verbose:  # pragma: no cover - cosmetic
+            print(f"[runner] {config.label()}: {len(result)} jobs, "
+                  f"{result.total_reallocations} reallocations")
+        return result
+
+    def baseline(self, config: ExperimentConfig) -> RunResult:
+        """Run (or fetch) the reference experiment of ``config``."""
+        return self.run(config.baseline())
+
+    def metrics(self, config: ExperimentConfig) -> ComparisonMetrics:
+        """The paper's four metrics for one reallocation configuration."""
+        if config.is_baseline:
+            raise ValueError("metrics() needs a reallocation configuration, not a baseline")
+        cached = self._metrics_cache.get(config)
+        if cached is not None:
+            return cached
+        baseline = self.baseline(config)
+        realloc = self.run(config)
+        metrics = compare_runs(baseline, realloc)
+        self._metrics_cache[config] = metrics
+        return metrics
+
+    # ------------------------------------------------------------------ #
+    # Sweeps                                                             #
+    # ------------------------------------------------------------------ #
+    def sweep(self, sweep_config: SweepConfig) -> SweepResult:
+        """Run a full sweep (one reallocation algorithm, one platform flavour)."""
+        result = SweepResult(config=sweep_config)
+        for config in sweep_config.configs():
+            metrics = self.metrics(config)
+            key = (config.batch_policy, config.heuristic, config.scenario)
+            result.metrics[key] = metrics
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Cache management                                                   #
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop all cached traces, results and metrics."""
+        self._trace_cache.clear()
+        self._result_cache.clear()
+        self._metrics_cache.clear()
+
+    @property
+    def cached_runs(self) -> int:
+        """Number of simulation results currently cached."""
+        return len(self._result_cache)
+
+
+_SHARED_RUNNER: Optional[ExperimentRunner] = None
+
+
+def shared_runner() -> ExperimentRunner:
+    """Process-wide runner shared by the benchmark modules."""
+    global _SHARED_RUNNER
+    if _SHARED_RUNNER is None:
+        _SHARED_RUNNER = ExperimentRunner()
+    return _SHARED_RUNNER

@@ -1,0 +1,285 @@
+"""Builders for the tables of the paper's evaluation section.
+
+Every metric table of the paper (Tables 2–17) has the same layout: one row
+per (local batch policy, heuristic), one column per scenario, plus an AVG
+column for the percentage/ratio tables.  :class:`TableResult` captures that
+layout; the builders fill it from a :class:`~repro.experiments.runner.
+SweepResult` and attach the paper's published AVG column (when it exists)
+so reports can show paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.heuristics import HEURISTIC_LABELS
+from repro.core.metrics import ComparisonMetrics
+from repro.experiments.config import bench_scale
+from repro.experiments.paper_data import (
+    HEADLINE_CLAIM,
+    REALLOCATION_COUNT_SUMMARY,
+    paper_avg,
+)
+from repro.experiments.runner import SweepResult
+from repro.platform.catalog import platform_for_scenario
+from repro.workload.scenarios import SCENARIO_NAMES, get_scenario, table1_counts
+
+#: Mapping from (metric, algorithm, heterogeneous) to the paper table number.
+TABLE_NUMBERS: Dict[Tuple[str, str, bool], int] = {
+    ("impacted", "standard", False): 2,
+    ("impacted", "standard", True): 3,
+    ("reallocations", "standard", False): 4,
+    ("reallocations", "standard", True): 5,
+    ("early", "standard", False): 6,
+    ("early", "standard", True): 7,
+    ("response", "standard", False): 8,
+    ("response", "standard", True): 9,
+    ("impacted", "cancellation", False): 10,
+    ("impacted", "cancellation", True): 11,
+    ("reallocations", "cancellation", False): 12,
+    ("reallocations", "cancellation", True): 13,
+    ("early", "cancellation", False): 14,
+    ("early", "cancellation", True): 15,
+    ("response", "cancellation", False): 16,
+    ("response", "cancellation", True): 17,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TableRow:
+    """One row of a table: a batch policy, a heuristic and its values."""
+
+    batch_policy: str
+    heuristic: str
+    values: Tuple[float, ...]
+
+    def value(self, columns: Sequence[str], column: str) -> float:
+        """Value of one named column."""
+        return self.values[list(columns).index(column)]
+
+
+@dataclass(slots=True)
+class TableResult:
+    """A reproduced table.
+
+    ``paper_reference`` maps (batch policy, heuristic) to the value the
+    paper published in its AVG column, when that column exists.
+    """
+
+    number: Optional[int]
+    title: str
+    columns: Tuple[str, ...]
+    rows: List[TableRow] = field(default_factory=list)
+    paper_reference: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    notes: str = ""
+
+    def row(self, batch_policy: str, heuristic: str) -> TableRow:
+        """Row for one (policy, heuristic) pair."""
+        for row in self.rows:
+            if row.batch_policy == batch_policy and row.heuristic == heuristic:
+                return row
+        raise KeyError(f"no row for ({batch_policy}, {heuristic})")
+
+    def column_values(self, column: str) -> List[float]:
+        """All values of one column, in row order."""
+        index = self.columns.index(column)
+        return [row.values[index] for row in self.rows]
+
+
+# --------------------------------------------------------------------- #
+# Generic metric-table builder                                          #
+# --------------------------------------------------------------------- #
+_METRIC_TITLES = {
+    "impacted": "Percentage of jobs whose completion time changed",
+    "reallocations": "Number of reallocations",
+    "early": "Percentage of jobs finishing earlier with reallocation",
+    "response": "Relative average response time",
+}
+
+
+def _metric_value(metrics: ComparisonMetrics, metric: str) -> float:
+    if metric == "impacted":
+        return metrics.pct_impacted
+    if metric == "reallocations":
+        return float(metrics.reallocations)
+    if metric == "early":
+        return metrics.pct_earlier
+    if metric == "response":
+        return metrics.relative_response_time
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def build_metric_table(sweep: SweepResult, metric: str) -> TableResult:
+    """Build one of the paper's metric tables from a sweep result."""
+    if metric not in _METRIC_TITLES:
+        raise ValueError(f"unknown metric {metric!r}; expected one of {sorted(_METRIC_TITLES)}")
+    config = sweep.config
+    with_avg = metric != "reallocations"
+    scenarios = tuple(config.scenarios)
+    columns = scenarios + (("AVG",) if with_avg else ())
+    number = TABLE_NUMBERS.get((metric, config.algorithm, config.heterogeneous))
+
+    suffix = "-C" if config.algorithm == "cancellation" else ""
+    flavour = "heterogeneous" if config.heterogeneous else "homogeneous"
+    title = f"{_METRIC_TITLES[metric]} ({flavour} platforms, heuristics{suffix})"
+
+    rows: List[TableRow] = []
+    for policy in config.batch_policies:
+        for heuristic in config.heuristics:
+            values = [
+                _metric_value(sweep.get(policy, heuristic, scenario), metric)
+                for scenario in scenarios
+            ]
+            if with_avg:
+                values.append(sum(values) / len(values))
+            rows.append(TableRow(policy, heuristic, tuple(values)))
+
+    reference: Dict[Tuple[str, str], float] = {}
+    if number is not None and metric != "reallocations":
+        reference = paper_avg(number)
+    notes = ""
+    if metric == "reallocations":
+        summary = REALLOCATION_COUNT_SUMMARY[config.algorithm]
+        notes = (
+            "Paper reference: reallocations average "
+            f"{100 * summary['avg_fraction']:.1f}% of the jobs of an experiment "
+            f"(maximum {100 * summary['max_fraction']:.1f}%)."
+        )
+    return TableResult(
+        number=number,
+        title=title,
+        columns=columns,
+        rows=rows,
+        paper_reference=reference,
+        notes=notes,
+    )
+
+
+def table_impacted(sweep: SweepResult) -> TableResult:
+    """Tables 2, 3, 10, 11: percentage of jobs whose completion time changed."""
+    return build_metric_table(sweep, "impacted")
+
+
+def table_reallocations(sweep: SweepResult) -> TableResult:
+    """Tables 4, 5, 12, 13: number of reallocations per experiment."""
+    return build_metric_table(sweep, "reallocations")
+
+
+def table_early(sweep: SweepResult) -> TableResult:
+    """Tables 6, 7, 14, 15: percentage of impacted jobs finishing earlier."""
+    return build_metric_table(sweep, "early")
+
+
+def table_response(sweep: SweepResult) -> TableResult:
+    """Tables 8, 9, 16, 17: relative average response time of impacted jobs."""
+    return build_metric_table(sweep, "response")
+
+
+# --------------------------------------------------------------------- #
+# Table 1: workload volumes                                             #
+# --------------------------------------------------------------------- #
+def table_workload(
+    scale: Optional[float] = None,
+    target_jobs: Optional[int] = None,
+) -> TableResult:
+    """Table 1: number of jobs per scenario and per site.
+
+    The row values are the job counts actually generated at the requested
+    scale; the paper's full counts are attached per scenario in
+    ``paper_reference`` under the key ``(scenario, "total")``.
+    """
+    counts = table1_counts()
+    sites = ("bordeaux", "lyon", "toulouse", "ctc", "sdsc")
+    columns = sites + ("total",)
+    rows: List[TableRow] = []
+    reference: Dict[Tuple[str, str], float] = {}
+    for scenario_name in SCENARIO_NAMES:
+        scenario = get_scenario(scenario_name)
+        if scale is not None:
+            used_scale = scale
+        elif target_jobs is not None:
+            used_scale = bench_scale(scenario_name, target_jobs)
+        else:
+            used_scale = 1.0
+        platform = platform_for_scenario(scenario_name)
+        generated = scenario.generate(platform, scale=used_scale)
+        per_site = {site: 0 for site in sites}
+        for job in generated:
+            if job.origin_site in per_site:
+                per_site[job.origin_site] += 1
+        values = tuple(float(per_site[site]) for site in sites) + (float(len(generated)),)
+        rows.append(TableRow("trace", scenario_name, values))
+        reference[(scenario_name, "total")] = float(sum(counts[scenario_name].values()))
+        for site, count in counts[scenario_name].items():
+            reference[(scenario_name, site)] = float(count)
+    return TableResult(
+        number=1,
+        title="Number of jobs per scenario and per site",
+        columns=columns,
+        rows=rows,
+        paper_reference=reference,
+        notes="Generated synthetic volumes; the paper reference is the full trace size.",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Section 4.3: comparison of the two algorithms                         #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class AlgorithmSummary:
+    """Averages of the four metrics over one sweep."""
+
+    algorithm: str
+    heterogeneous: bool
+    mean_pct_impacted: float
+    mean_reallocation_fraction: float
+    mean_pct_earlier: float
+    mean_relative_response: float
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonSummary:
+    """Section 4.3 / conclusion: Algorithm 1 vs Algorithm 2."""
+
+    standard: AlgorithmSummary
+    cancellation: AlgorithmSummary
+    #: the paper's headline claim (fractions of jobs sooner / response gain)
+    headline: Dict[str, float]
+
+    @property
+    def cancellation_improves_response(self) -> bool:
+        """True when Algorithm 2 beats Algorithm 1 on mean relative response time."""
+        return (
+            self.cancellation.mean_relative_response <= self.standard.mean_relative_response
+        )
+
+
+def _summarise(sweep: SweepResult) -> AlgorithmSummary:
+    cells = list(sweep.metrics.values())
+    if not cells:
+        raise ValueError("cannot summarise an empty sweep")
+    fractions = [
+        m.reallocations / m.compared_jobs if m.compared_jobs else 0.0 for m in cells
+    ]
+    return AlgorithmSummary(
+        algorithm=sweep.config.algorithm,
+        heterogeneous=sweep.config.heterogeneous,
+        mean_pct_impacted=sum(m.pct_impacted for m in cells) / len(cells),
+        mean_reallocation_fraction=sum(fractions) / len(fractions),
+        mean_pct_earlier=sum(m.pct_earlier for m in cells) / len(cells),
+        mean_relative_response=sum(m.relative_response_time for m in cells) / len(cells),
+    )
+
+
+def comparison_summary(standard: SweepResult, cancellation: SweepResult) -> ComparisonSummary:
+    """Compare the two reallocation algorithms over matching sweeps."""
+    if standard.config.algorithm != "standard":
+        raise ValueError("first argument must be an Algorithm-1 (standard) sweep")
+    if cancellation.config.algorithm != "cancellation":
+        raise ValueError("second argument must be an Algorithm-2 (cancellation) sweep")
+    return ComparisonSummary(
+        standard=_summarise(standard),
+        cancellation=_summarise(cancellation),
+        headline=dict(HEADLINE_CLAIM),
+    )

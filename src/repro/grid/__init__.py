@@ -1,0 +1,34 @@
+"""Grid middleware layer (the GridRPC-style architecture of the paper).
+
+Three components, mirroring Section 2.1 of the paper:
+
+* :class:`~repro.grid.client.TraceClient` — replays a workload trace,
+  submitting each job to the agent at its submission time;
+* :class:`~repro.grid.metascheduler.MetaScheduler` — the agent: maps every
+  incoming job to a cluster (MCT by default, Random and RoundRobin are also
+  available);
+* :class:`~repro.grid.reallocation.ReallocationAgent` — the periodic
+  reallocation mechanism, implementing Algorithm 1 (without cancellation)
+  and Algorithm 2 (with cancellation) with any of the six heuristics.
+
+:class:`~repro.grid.simulation.GridSimulation` wires the three components
+with the batch servers on top of the simulation kernel and produces a
+:class:`~repro.core.results.RunResult`.
+"""
+
+from repro.grid.client import TraceClient
+from repro.grid.metascheduler import MappingPolicy, MetaScheduler
+from repro.grid.multisubmission import MultiSubmissionAgent, MultiSubmissionSimulation
+from repro.grid.reallocation import ReallocationAgent, ReallocationAlgorithm
+from repro.grid.simulation import GridSimulation
+
+__all__ = [
+    "GridSimulation",
+    "MappingPolicy",
+    "MetaScheduler",
+    "MultiSubmissionAgent",
+    "MultiSubmissionSimulation",
+    "ReallocationAgent",
+    "ReallocationAlgorithm",
+    "TraceClient",
+]

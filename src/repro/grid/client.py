@@ -1,0 +1,73 @@
+"""The client component: replays a workload trace.
+
+The client of the paper's architecture sends computing requests to the
+agent.  In the simulation it simply schedules one submission event per job
+of the trace, at the job's submission time, and hands the job to the
+:class:`~repro.grid.metascheduler.MetaScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.batch.job import Job
+from repro.grid.metascheduler import MetaScheduler
+from repro.sim.events import EventType
+from repro.sim.kernel import SimulationKernel
+
+
+class TraceClient:
+    """Schedules the submission of every job of a trace.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel.
+    metascheduler:
+        Agent receiving the submissions.
+    jobs:
+        The trace; jobs are submitted at their ``submit_time``.
+    """
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        metascheduler: MetaScheduler,
+        jobs: Sequence[Job],
+    ) -> None:
+        self.kernel = kernel
+        self.metascheduler = metascheduler
+        self.jobs: List[Job] = list(jobs)
+        self.submitted_count = 0
+        self._started = False
+
+    @property
+    def first_submit_time(self) -> Optional[float]:
+        """Submission time of the earliest job (``None`` for an empty trace)."""
+        if not self.jobs:
+            return None
+        return min(job.submit_time for job in self.jobs)
+
+    @property
+    def last_submit_time(self) -> Optional[float]:
+        """Submission time of the latest job (``None`` for an empty trace)."""
+        if not self.jobs:
+            return None
+        return max(job.submit_time for job in self.jobs)
+
+    def start(self) -> None:
+        """Schedule one submission event per job (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for job in self.jobs:
+            self.kernel.schedule_at(
+                job.submit_time,
+                self._submit,
+                job,
+                event_type=EventType.JOB_SUBMISSION,
+            )
+
+    def _submit(self, job: Job) -> None:
+        self.metascheduler.submit(job)
+        self.submitted_count += 1

@@ -1,0 +1,154 @@
+"""The agent (meta-scheduler) of the grid middleware.
+
+When a client submits a job, the agent chooses the cluster it will run on.
+The paper's experiments use the **MCT** (Minimum Completion Time) online
+policy — the server able to finish the job the earliest is chosen — and
+mention **Random** and **RoundRobin** as simpler alternatives available
+when monitoring is not deployed; all three are implemented here (and the
+simpler two are exercised by the mapping-policy ablation bench).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.batch.job import Job, JobState
+from repro.batch.server import BatchServer
+
+
+class MappingPolicy(enum.Enum):
+    """Online mapping policy applied to every incoming job.
+
+    MCT is the policy the paper assumes; Random and RoundRobin are the
+    monitoring-free fallbacks it mentions; the two "Less-*" policies are
+    the meta-scheduling policies of Guim and Corbalán discussed in the
+    related-work section (map to the cluster with the fewest queued jobs,
+    or with the least declared work left).
+    """
+
+    MCT = "mct"
+    RANDOM = "random"
+    ROUND_ROBIN = "round_robin"
+    LESS_JOBS_IN_QUEUE = "less_jobs_in_queue"
+    LESS_WORK_LEFT = "less_work_left"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class MetaScheduler:
+    """Maps incoming jobs to batch servers.
+
+    Parameters
+    ----------
+    servers:
+        The batch servers of the platform, in a fixed order (used by
+        RoundRobin and for deterministic tie-breaking).
+    policy:
+        Mapping policy; MCT by default, as in the paper.
+    rng:
+        Random generator used by the Random policy (seeded for
+        reproducibility).
+    on_reject:
+        Optional callback invoked with jobs that fit on no cluster.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[BatchServer],
+        policy: "MappingPolicy | str" = MappingPolicy.MCT,
+        rng: Optional[np.random.Generator] = None,
+        on_reject: Optional[Callable[[Job], None]] = None,
+    ) -> None:
+        if not servers:
+            raise ValueError("MetaScheduler needs at least one batch server")
+        self.servers: List[BatchServer] = list(servers)
+        if isinstance(policy, str):
+            policy = MappingPolicy(policy.lower())
+        self.policy = policy
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.on_reject = on_reject
+        self._round_robin_index = 0
+        #: job id -> name of the cluster chosen at submission time
+        self.initial_mapping: Dict[int, str] = {}
+        self.submitted_count = 0
+        self.rejected_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+    def server_by_name(self, name: str) -> BatchServer:
+        """Batch server with the given cluster name."""
+        for server in self.servers:
+            if server.name == name:
+                return server
+        raise KeyError(f"no server named {name!r}")
+
+    def eligible_servers(self, job: Job) -> List[BatchServer]:
+        """Servers whose cluster is large enough for the job."""
+        return [server for server in self.servers if server.fits(job)]
+
+    def estimate_all(self, job: Job) -> Dict[str, float]:
+        """ECT of the job on every eligible server (what MCT queries)."""
+        return {server.name: server.estimate_completion(job) for server in self.eligible_servers(job)}
+
+    # ------------------------------------------------------------------ #
+    # Submission                                                         #
+    # ------------------------------------------------------------------ #
+    def submit(self, job: Job) -> Optional[BatchServer]:
+        """Map and submit a job; returns the chosen server (or ``None`` if rejected)."""
+        server = self._choose(job)
+        if server is None:
+            job.state = JobState.REJECTED
+            self.rejected_count += 1
+            if self.on_reject is not None:
+                self.on_reject(job)
+            return None
+        server.submit(job)
+        self.initial_mapping[job.job_id] = server.name
+        self.submitted_count += 1
+        return server
+
+    def _choose(self, job: Job) -> Optional[BatchServer]:
+        eligible = self.eligible_servers(job)
+        if not eligible:
+            return None
+        if self.policy is MappingPolicy.MCT:
+            return self._choose_mct(job, eligible)
+        if self.policy is MappingPolicy.RANDOM:
+            index = int(self._rng.integers(0, len(eligible)))
+            return eligible[index]
+        if self.policy is MappingPolicy.LESS_JOBS_IN_QUEUE:
+            return min(eligible, key=lambda s: (s.queue_length, s.name))
+        if self.policy is MappingPolicy.LESS_WORK_LEFT:
+            return min(eligible, key=lambda s: (s.work_left(), s.name))
+        # Round robin walks over the full server list, skipping clusters the
+        # job does not fit on.
+        for _ in range(len(self.servers)):
+            candidate = self.servers[self._round_robin_index % len(self.servers)]
+            self._round_robin_index += 1
+            if candidate.fits(job):
+                return candidate
+        return None
+
+    def _choose_mct(self, job: Job, eligible: List[BatchServer]) -> Optional[BatchServer]:
+        best_server: Optional[BatchServer] = None
+        best_ect = math.inf
+        for server in eligible:
+            ect = server.estimate_completion(job)
+            if ect < best_ect:
+                best_ect = ect
+                best_server = server
+        if best_server is None or not math.isfinite(best_ect):
+            # Every estimate was infinite: should not happen for jobs that
+            # fit, but fall back to the least-loaded eligible cluster.
+            return min(eligible, key=lambda s: s.queue_length)
+        return best_server
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(server.name for server in self.servers)
+        return f"MetaScheduler(policy={self.policy}, servers=[{names}])"

@@ -1,0 +1,216 @@
+"""Multiple-submissions strategy (the related-work comparator).
+
+Sonmez et al. (reference [23] of the paper) and Sabin et al. (reference
+[19]) reduce response times by submitting each job to *several* clusters at
+once and cancelling the remaining copies as soon as one of them starts.
+The paper positions its reallocation mechanism against this strategy: both
+are middleware-level, but multiple submissions keep every local queue
+loaded with copies while reallocation keeps a single copy per job and moves
+it.  Implementing the comparator lets the benchmark suite put the two
+approaches side by side on identical workloads.
+
+:class:`MultiSubmissionAgent` exposes the same ``submit(job)`` interface as
+the meta-scheduler, so it plugs into the unchanged
+:class:`~repro.grid.client.TraceClient`;
+:class:`MultiSubmissionSimulation` wires a complete experiment around it
+and returns a regular :class:`~repro.core.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.batch.job import Job, JobState
+from repro.batch.policies import BatchPolicy
+from repro.batch.server import BatchServer
+from repro.core.results import RunResult
+from repro.grid.client import TraceClient
+from repro.platform.spec import PlatformSpec
+from repro.sim.kernel import SimulationKernel
+
+
+@dataclass(slots=True)
+class _JobEntry:
+    """Book-keeping for one original job and its per-cluster copies."""
+
+    original: Job
+    copies: Dict[str, Job] = field(default_factory=dict)
+    winner_cluster: Optional[str] = None
+
+
+class MultiSubmissionAgent:
+    """Submit each job to several clusters, keep the first copy that starts.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel (only used for sanity; the agent itself is purely
+        reactive).
+    servers:
+        Batch servers of the platform.  The agent installs itself as their
+        ``on_start``/``on_completion`` observer.
+    copies:
+        Number of clusters each job is submitted to (the best ones by
+        expected completion time).  ``None`` or 0 submits to every cluster
+        the job fits on, which is the strongest variant studied by Sonmez
+        et al.
+    on_completion:
+        Optional callback invoked with the *original* job when its winning
+        copy finishes.
+    """
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        servers: Sequence[BatchServer],
+        copies: Optional[int] = None,
+        on_completion=None,
+    ) -> None:
+        if not servers:
+            raise ValueError("MultiSubmissionAgent needs at least one batch server")
+        if copies is not None and copies < 0:
+            raise ValueError(f"copies must be None or >= 0, got {copies}")
+        self.kernel = kernel
+        self.servers: List[BatchServer] = list(servers)
+        self.copies = copies if copies else None
+        self.on_completion = on_completion
+        self._entries: Dict[int, _JobEntry] = {}
+        #: total number of copies submitted to local queues
+        self.submitted_copies = 0
+        #: number of copies cancelled because a sibling started first
+        self.cancelled_copies = 0
+        self.rejected_count = 0
+        for server in self.servers:
+            server.on_start = self._on_copy_start
+            server.on_completion = self._on_copy_completion
+
+    # ------------------------------------------------------------------ #
+    # Client-facing API                                                   #
+    # ------------------------------------------------------------------ #
+    def submit(self, job: Job) -> Optional[List[BatchServer]]:
+        """Submit copies of ``job`` to its best clusters.
+
+        Returns the list of servers that received a copy, or ``None`` when
+        the job fits nowhere (it is then marked rejected).
+        """
+        eligible = [server for server in self.servers if server.fits(job)]
+        if not eligible:
+            job.state = JobState.REJECTED
+            self.rejected_count += 1
+            return None
+        ranked = sorted(eligible, key=lambda s: (s.estimate_completion(job), s.name))
+        targets = ranked[: self.copies] if self.copies else ranked
+        entry = _JobEntry(original=job)
+        self._entries[job.job_id] = entry
+        # The original job object tracks the "logical" job state; it is
+        # waiting as soon as its first copy is queued.
+        job.state = JobState.WAITING
+        for server in targets:
+            copy = job.copy()
+            entry.copies[server.name] = copy
+            server.submit(copy)
+            self.submitted_copies += 1
+        return targets
+
+    # ------------------------------------------------------------------ #
+    # Server observers                                                    #
+    # ------------------------------------------------------------------ #
+    def _on_copy_start(self, copy: Job) -> None:
+        entry = self._entries.get(copy.job_id)
+        if entry is None or entry.winner_cluster is not None:
+            return
+        entry.winner_cluster = copy.cluster
+        original = entry.original
+        original.state = JobState.RUNNING
+        original.cluster = copy.cluster
+        original.start_time = copy.start_time
+        # Cancel every sibling copy that is still waiting elsewhere.
+        for cluster_name, sibling in entry.copies.items():
+            if cluster_name == entry.winner_cluster:
+                continue
+            if sibling.state is JobState.WAITING and sibling.cluster is not None:
+                server = self._server_by_name(sibling.cluster)
+                server.cancel(sibling)
+                self.cancelled_copies += 1
+
+    def _on_copy_completion(self, copy: Job) -> None:
+        entry = self._entries.get(copy.job_id)
+        if entry is None:
+            return
+        if entry.winner_cluster != copy.cluster:
+            # A sibling copy slipped into execution before its cancellation
+            # (cannot happen with sequential event processing, but stay safe).
+            return
+        original = entry.original
+        original.state = JobState.COMPLETED
+        original.completion_time = copy.completion_time
+        original.killed = copy.killed
+        if self.on_completion is not None:
+            self.on_completion(original)
+
+    def _server_by_name(self, name: str) -> BatchServer:
+        for server in self.servers:
+            if server.name == name:
+                return server
+        raise KeyError(f"no server named {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiSubmissionAgent(copies={self.copies or 'all'}, "
+            f"submitted={self.submitted_copies}, cancelled={self.cancelled_copies})"
+        )
+
+
+class MultiSubmissionSimulation:
+    """A complete experiment using multiple submissions instead of reallocation.
+
+    The interface mirrors :class:`~repro.grid.simulation.GridSimulation`:
+    construct with a platform and a trace, call :meth:`run` once, get a
+    :class:`RunResult` whose records describe the *original* jobs (one
+    record per job of the trace, whatever number of copies were used).
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        jobs: Sequence[Job],
+        batch_policy: "BatchPolicy | str" = BatchPolicy.FCFS,
+        copies: Optional[int] = None,
+    ) -> None:
+        self.platform = platform
+        self.jobs: List[Job] = list(jobs)
+        self.batch_policy = (
+            BatchPolicy(batch_policy.lower()) if isinstance(batch_policy, str) else batch_policy
+        )
+        self.copies = copies
+        self.kernel = SimulationKernel()
+        self.servers = [
+            BatchServer(self.kernel, spec.name, spec.procs, spec.speed, policy=self.batch_policy)
+            for spec in platform
+        ]
+        self.agent = MultiSubmissionAgent(self.kernel, self.servers, copies=copies)
+        self.client = TraceClient(self.kernel, self.agent, self.jobs)
+        self._ran = False
+
+    def run(self) -> RunResult:
+        """Run the experiment to completion and return its result."""
+        if self._ran:
+            raise RuntimeError("MultiSubmissionSimulation.run() may only be called once")
+        self._ran = True
+        for job in self.jobs:
+            job.reset_dynamic_state()
+        self.client.start()
+        self.kernel.run()
+        metadata = {
+            "platform": self.platform.name,
+            "batch_policy": str(self.batch_policy),
+            "strategy": "multi-submission",
+            "copies": self.copies or "all",
+            "submitted_copies": self.agent.submitted_copies,
+            "cancelled_copies": self.agent.cancelled_copies,
+            "n_jobs": len(self.jobs),
+            "rejected": self.agent.rejected_count,
+        }
+        label = f"{self.platform.name}/{self.batch_policy}/multi-submission"
+        return RunResult.from_jobs(label, self.jobs, metadata=metadata)

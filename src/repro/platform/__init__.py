@@ -1,0 +1,26 @@
+"""Platform descriptions.
+
+A *platform* is the set of clusters of the simulated grid.  The paper uses
+two three-cluster platforms (a Grid'5000-like one and one mixing Grid'5000
+with Parallel Workload Archive machines), each in a homogeneous and a
+heterogeneous flavour.  :mod:`repro.platform.catalog` builds all four.
+"""
+
+from repro.platform.catalog import (
+    GRID5000_SITES,
+    PWA_G5K_SITES,
+    grid5000_platform,
+    platform_for_scenario,
+    pwa_g5k_platform,
+)
+from repro.platform.spec import ClusterSpec, PlatformSpec
+
+__all__ = [
+    "GRID5000_SITES",
+    "PWA_G5K_SITES",
+    "ClusterSpec",
+    "PlatformSpec",
+    "grid5000_platform",
+    "platform_for_scenario",
+    "pwa_g5k_platform",
+]

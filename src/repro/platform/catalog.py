@@ -1,0 +1,73 @@
+"""The paper's platforms.
+
+Section 3.2 of the paper describes two platforms of three clusters each:
+
+* **Grid'5000 platform** — Bordeaux (640 cores, reference speed), Lyon
+  (270 cores, 20 % faster in the heterogeneous case) and Toulouse
+  (434 cores, 40 % faster).
+* **PWA + Grid'5000 platform** — Bordeaux (640 cores, reference speed),
+  CTC (430 cores, 20 % faster) and SDSC (128 cores, 40 % faster).
+
+Each platform exists in a homogeneous variant (all speeds equal to 1.0,
+processor counts unchanged) and a heterogeneous variant (speeds as above).
+"""
+
+from __future__ import annotations
+
+from repro.platform.spec import ClusterSpec, PlatformSpec
+
+#: Site names of the Grid'5000 platform (order matters for trace generation).
+GRID5000_SITES: tuple[str, ...] = ("bordeaux", "lyon", "toulouse")
+
+#: Site names of the PWA + Grid'5000 platform.
+PWA_G5K_SITES: tuple[str, ...] = ("bordeaux", "ctc", "sdsc")
+
+_G5K_SPECS = {
+    "bordeaux": (640, 1.0),
+    "lyon": (270, 1.2),
+    "toulouse": (434, 1.4),
+}
+
+_PWA_SPECS = {
+    "bordeaux": (640, 1.0),
+    "ctc": (430, 1.2),
+    "sdsc": (128, 1.4),
+}
+
+
+def _build(name: str, sites: tuple[str, ...], specs: dict, heterogeneous: bool) -> PlatformSpec:
+    clusters = []
+    for site in sites:
+        procs, speed = specs[site]
+        clusters.append(ClusterSpec(site, procs, speed if heterogeneous else 1.0))
+    suffix = "heterogeneous" if heterogeneous else "homogeneous"
+    return PlatformSpec(f"{name}-{suffix}", tuple(clusters))
+
+
+def grid5000_platform(heterogeneous: bool = False) -> PlatformSpec:
+    """The Grid'5000 platform (Bordeaux / Lyon / Toulouse).
+
+    Parameters
+    ----------
+    heterogeneous:
+        When true, Lyon is 20 % and Toulouse 40 % faster than Bordeaux;
+        otherwise all clusters run at the reference speed.
+    """
+    return _build("grid5000", GRID5000_SITES, _G5K_SPECS, heterogeneous)
+
+
+def pwa_g5k_platform(heterogeneous: bool = False) -> PlatformSpec:
+    """The PWA + Grid'5000 platform (Bordeaux / CTC / SDSC)."""
+    return _build("pwa-g5k", PWA_G5K_SITES, _PWA_SPECS, heterogeneous)
+
+
+def platform_for_scenario(scenario_name: str, heterogeneous: bool = False) -> PlatformSpec:
+    """Platform matching a scenario name of the paper.
+
+    The six monthly Grid'5000 scenarios (``jan`` .. ``jun``) use the
+    Grid'5000 platform; the six-month ``pwa-g5k`` scenario uses the PWA +
+    Grid'5000 platform.
+    """
+    if scenario_name.lower() in {"pwa-g5k", "pwa_g5k", "pwag5k"}:
+        return pwa_g5k_platform(heterogeneous)
+    return grid5000_platform(heterogeneous)

@@ -1,0 +1,99 @@
+"""Cluster and platform specifications.
+
+Specifications are immutable descriptions used to instantiate the live
+simulation objects (:class:`~repro.batch.server.BatchServer`).  Keeping
+them separate from the live state makes it trivial to run the same
+platform description under many configurations (homogeneous vs
+heterogeneous, FCFS vs CBF, with or without reallocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """Static description of one cluster.
+
+    Parameters
+    ----------
+    name:
+        Cluster identifier (also the site name used by the workload
+        generator to attribute per-site job volumes).
+    procs:
+        Number of cores.
+    speed:
+        Relative speed factor; 1.0 is the reference (slowest) cluster.
+    """
+
+    name: str
+    procs: int
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.procs <= 0:
+            raise ValueError(f"cluster {self.name}: procs must be positive, got {self.procs}")
+        if self.speed <= 0:
+            raise ValueError(f"cluster {self.name}: speed must be positive, got {self.speed}")
+
+    def homogeneous(self) -> "ClusterSpec":
+        """Copy of this spec with the speed reset to the reference value 1.0."""
+        return ClusterSpec(self.name, self.procs, 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class PlatformSpec:
+    """A named, ordered collection of :class:`ClusterSpec`."""
+
+    name: str
+    clusters: Tuple[ClusterSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ValueError(f"platform {self.name}: at least one cluster is required")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"platform {self.name}: duplicate cluster names in {names}")
+
+    def __iter__(self) -> Iterator[ClusterSpec]:
+        return iter(self.clusters)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def cluster_names(self) -> Tuple[str, ...]:
+        """Names of the clusters, in declaration order."""
+        return tuple(c.name for c in self.clusters)
+
+    @property
+    def total_procs(self) -> int:
+        """Total number of cores of the platform."""
+        return sum(c.procs for c in self.clusters)
+
+    @property
+    def max_cluster_procs(self) -> int:
+        """Size of the largest cluster (upper bound for rigid-job requests)."""
+        return max(c.procs for c in self.clusters)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when all clusters share the same speed factor."""
+        speeds = {c.speed for c in self.clusters}
+        return len(speeds) == 1
+
+    def get(self, name: str) -> Optional[ClusterSpec]:
+        """Cluster spec by name, or ``None`` if absent."""
+        for cluster in self.clusters:
+            if cluster.name == name:
+                return cluster
+        return None
+
+    def homogeneous(self) -> "PlatformSpec":
+        """Homogeneous variant: every cluster gets the reference speed 1.0."""
+        return PlatformSpec(
+            f"{self.name}-homogeneous",
+            tuple(c.homogeneous() for c in self.clusters),
+        )

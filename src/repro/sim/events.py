@@ -1,0 +1,83 @@
+"""Event objects managed by the simulation kernel.
+
+An :class:`Event` couples a firing time with a callback.  Events are
+totally ordered by ``(time, priority, sequence)`` so the kernel's heap pops
+them deterministically: ties on time are broken first by an explicit
+priority (lower fires first) and then by insertion order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventType(enum.IntEnum):
+    """Classification of events used by the grid simulation.
+
+    The integer value doubles as the default priority of the event type:
+    when several events share the same timestamp, job completions are
+    processed before new submissions, which are processed before
+    reallocation ticks.  This mirrors the behaviour of a real batch system
+    where the scheduler observes terminations before it looks at the
+    submission socket, and the middleware reallocation agent only ever sees
+    a consistent queue snapshot.
+    """
+
+    JOB_COMPLETION = 0
+    JOB_KILL = 1
+    JOB_SUBMISSION = 2
+    REALLOCATION = 3
+    GENERIC = 4
+    END_OF_SIMULATION = 5
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Parameters
+    ----------
+    time:
+        Simulated time (seconds) at which the event fires.
+    priority:
+        Tie-breaker for events sharing the same time; lower values fire
+        first.  Defaults to the :class:`EventType` value.
+    sequence:
+        Monotonically increasing insertion counter set by the kernel; it
+        guarantees a deterministic total order and FIFO behaviour among
+        events with identical ``(time, priority)``.
+    callback:
+        Callable invoked as ``callback(*args)`` when the event fires.
+    args:
+        Positional arguments for the callback.
+    event_type:
+        The :class:`EventType` tag, available to tracing hooks.
+    cancelled:
+        When set the kernel skips the callback; cancellation is O(1) and
+        leaves the heap untouched.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(default=(), compare=False)
+    event_type: EventType = field(default=EventType.GENERIC, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel will skip it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (kernel-internal)."""
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return (
+            f"Event(t={self.time:.3f}, type={self.event_type.name}, "
+            f"cb={name}, cancelled={self.cancelled})"
+        )

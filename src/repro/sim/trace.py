@@ -1,0 +1,70 @@
+"""Recording of fired simulation events.
+
+The :class:`EventTrace` is an optional observer attached to the kernel.  It
+keeps a compact record of every event that fired, which the experiment
+harness uses to debug schedules and to reconstruct Gantt-chart style
+figures (Figures 1 and 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.sim.events import Event, EventType
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One fired event: time, type and the callback's qualified name."""
+
+    time: float
+    event_type: EventType
+    callback_name: str
+
+
+class EventTrace:
+    """In-memory list of :class:`TraceRecord` entries.
+
+    Parameters
+    ----------
+    max_records:
+        Optional cap on the number of stored records.  Once the cap is hit
+        the oldest records are *not* evicted; recording simply stops.  This
+        keeps long simulations bounded in memory while preserving the
+        beginning of the run, which is what the figures need.
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        self._records: list[TraceRecord] = []
+        self._max_records = max_records
+        #: Number of events that were observed but not stored due to the cap.
+        self.dropped = 0
+
+    def record(self, event: Event) -> None:
+        """Store a record for ``event`` (called by the kernel)."""
+        if self._max_records is not None and len(self._records) >= self._max_records:
+            self.dropped += 1
+            return
+        name = getattr(event.callback, "__qualname__", None) or getattr(
+            event.callback, "__name__", repr(event.callback)
+        )
+        self._records.append(TraceRecord(event.time, event.event_type, name))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def by_type(self, event_type: EventType) -> list[TraceRecord]:
+        """Return all stored records of the given type."""
+        return [r for r in self._records if r.event_type == event_type]
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self._records.clear()
+        self.dropped = 0

@@ -1,0 +1,40 @@
+"""Workloads: trace parsing and synthetic generation.
+
+The paper replays real traces (Grid'5000 Bordeaux/Lyon/Toulouse for the
+first six months of 2008, and the CTC and SDSC traces of the Parallel
+Workload Archive).  Those traces are not redistributable, so this package
+provides two paths:
+
+* :mod:`repro.workload.swf` — a reader/writer for the Standard Workload
+  Format, so users who have the original logs can replay them unchanged;
+* :mod:`repro.workload.synthetic` — a calibrated synthetic generator that
+  reproduces the properties the paper relies on (bursty submissions,
+  over-estimated walltimes, heavy-tailed runtimes, per-site volumes) and
+  :mod:`repro.workload.scenarios`, which instantiates the seven scenarios
+  of the paper with the per-site job counts of Table 1.
+"""
+
+from repro.workload.scenarios import (
+    SCENARIO_NAMES,
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    table1_counts,
+)
+from repro.workload.swf import SWFError, parse_swf, parse_swf_file, write_swf
+from repro.workload.synthetic import SiteWorkloadModel, generate_site_trace, merge_traces
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "SWFError",
+    "Scenario",
+    "SiteWorkloadModel",
+    "all_scenarios",
+    "generate_site_trace",
+    "get_scenario",
+    "merge_traces",
+    "parse_swf",
+    "parse_swf_file",
+    "table1_counts",
+    "write_swf",
+]

@@ -1,0 +1,167 @@
+"""The seven workload scenarios of the paper.
+
+Section 3.3 of the paper evaluates reallocation on seven scenarios: six
+one-month scenarios built from the Grid'5000 traces of January–June 2008
+(sites Bordeaux, Lyon, Toulouse) and one six-month scenario mixing the
+Bordeaux trace with the CTC and SDSC traces of the Parallel Workload
+Archive.  Table 1 of the paper gives the per-site job counts, which are the
+calibration targets of the synthetic generator.
+
+A :class:`Scenario` turns those counts into a concrete grid trace for a
+given platform, with an optional ``scale`` factor that shrinks both the
+number of jobs and the submission window proportionally (so the offered
+load is preserved while the simulation stays laptop-sized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.batch.job import Job
+from repro.platform.spec import PlatformSpec
+from repro.workload.synthetic import SiteWorkloadModel, generate_site_trace, merge_traces
+
+#: One month of seconds (30 days), the length of the monthly scenarios.
+MONTH_SECONDS = 30 * 86_400.0
+#: Six months of seconds, the length of the ``pwa-g5k`` scenario.
+SIX_MONTHS_SECONDS = 181 * 86_400.0
+
+#: Per-site job counts of Table 1 of the paper (monthly Grid'5000 scenarios)
+#: plus the six-month PWA + Grid'5000 scenario described in Section 3.3.
+_TABLE1: Dict[str, Dict[str, int]] = {
+    "jan": {"bordeaux": 13_084, "lyon": 583, "toulouse": 488},
+    "feb": {"bordeaux": 5_822, "lyon": 2_695, "toulouse": 1_123},
+    "mar": {"bordeaux": 11_673, "lyon": 8_315, "toulouse": 949},
+    "apr": {"bordeaux": 33_250, "lyon": 1_330, "toulouse": 1_461},
+    "may": {"bordeaux": 6_765, "lyon": 2_179, "toulouse": 1_573},
+    "jun": {"bordeaux": 4_094, "lyon": 3_540, "toulouse": 1_548},
+    "pwa-g5k": {"bordeaux": 74_647, "ctc": 42_873, "sdsc": 15_615},
+}
+
+#: Offered load (fraction of platform core-seconds) per scenario.  The
+#: paper's months differ in load — April saturates Bordeaux while January is
+#: light outside Bordeaux — and the load level is what drives how many jobs
+#: can be reallocated, so each scenario gets its own target.
+_TARGET_UTILIZATION: Dict[str, float] = {
+    "jan": 0.78,
+    "feb": 0.70,
+    "mar": 0.93,
+    "apr": 0.85,
+    "may": 0.94,
+    "jun": 0.90,
+    "pwa-g5k": 0.85,
+}
+
+#: Canonical ordering of the scenarios (the column order of every table).
+SCENARIO_NAMES: Tuple[str, ...] = ("jan", "feb", "mar", "apr", "may", "jun", "pwa-g5k")
+
+
+def table1_counts() -> Dict[str, Dict[str, int]]:
+    """Per-scenario, per-site job counts of Table 1 (plus ``pwa-g5k``)."""
+    return {name: dict(counts) for name, counts in _TABLE1.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One workload scenario of the paper.
+
+    Parameters
+    ----------
+    name:
+        Scenario identifier (``jan`` .. ``jun`` or ``pwa-g5k``).
+    site_counts:
+        Number of jobs submitted from each site over the full window.
+    duration:
+        Length of the submission window in seconds (before scaling).
+    target_utilization:
+        Offered load used to calibrate runtimes.
+    seed:
+        Base seed for the deterministic random generator.
+    """
+
+    name: str
+    site_counts: Mapping[str, int] = field(default_factory=dict)
+    duration: float = MONTH_SECONDS
+    target_utilization: float = 0.7
+    seed: int = 20100326
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        """Sites contributing jobs, in declaration order."""
+        return tuple(self.site_counts.keys())
+
+    @property
+    def total_jobs(self) -> int:
+        """Total job count over all sites (unscaled)."""
+        return sum(self.site_counts.values())
+
+    def scaled_counts(self, scale: float) -> Dict[str, int]:
+        """Per-site counts after applying ``scale`` (at least one job per site)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return {site: max(1, int(round(count * scale))) for site, count in self.site_counts.items()}
+
+    def generate(
+        self,
+        platform: PlatformSpec,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> List[Job]:
+        """Build the grid trace of this scenario for ``platform``.
+
+        ``scale`` shrinks both the per-site job counts and the submission
+        window, preserving the offered load.  Jobs originating from a site
+        are capped at that site's cluster size, so every job fits somewhere
+        on the platform.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        base_seed = self.seed if seed is None else seed
+        duration = max(self.duration * scale, 4 * 3600.0)
+        counts = self.scaled_counts(scale)
+        traces: List[List[Job]] = []
+        for index, site in enumerate(self.sites):
+            spec = platform.get(site)
+            if spec is None:
+                raise ValueError(
+                    f"scenario {self.name}: site {site!r} is not part of platform "
+                    f"{platform.name} (clusters: {platform.cluster_names})"
+                )
+            model = SiteWorkloadModel(
+                site=site,
+                n_jobs=counts[site],
+                duration=duration,
+                site_procs=spec.procs,
+                target_utilization=self.target_utilization,
+                # Cap runtimes to a fraction of the (possibly scaled)
+                # submission window so that shrinking the trace does not
+                # concentrate a month's worth of work into a handful of
+                # giant jobs.
+                max_runtime=min(172_800.0, 0.4 * duration),
+            )
+            rng = np.random.default_rng(base_seed + 1009 * index)
+            traces.append(generate_site_trace(model, rng))
+        return merge_traces(traces)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Scenario definition by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _TABLE1:
+        valid = ", ".join(SCENARIO_NAMES)
+        raise KeyError(f"unknown scenario {name!r}; expected one of {valid}")
+    duration = SIX_MONTHS_SECONDS if key == "pwa-g5k" else MONTH_SECONDS
+    return Scenario(
+        name=key,
+        site_counts=dict(_TABLE1[key]),
+        duration=duration,
+        target_utilization=_TARGET_UTILIZATION[key],
+    )
+
+
+def all_scenarios() -> List[Scenario]:
+    """All seven scenarios, in the canonical (table column) order."""
+    return [get_scenario(name) for name in SCENARIO_NAMES]

@@ -1,0 +1,111 @@
+"""Tests for the Job model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch.job import Job, JobState
+from tests.conftest import make_job
+
+
+class TestValidation:
+    def test_valid_job(self):
+        job = make_job(1, submit_time=10.0, procs=4, runtime=100.0, walltime=200.0)
+        assert job.state is JobState.PENDING
+        assert job.procs == 4
+
+    @pytest.mark.parametrize("procs", [0, -1])
+    def test_invalid_procs(self, procs):
+        with pytest.raises(ValueError):
+            Job(job_id=1, submit_time=0.0, procs=procs, runtime=10.0, walltime=20.0)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            Job(job_id=1, submit_time=0.0, procs=1, runtime=-1.0, walltime=20.0)
+
+    @pytest.mark.parametrize("walltime", [0.0, -5.0])
+    def test_invalid_walltime(self, walltime):
+        with pytest.raises(ValueError):
+            Job(job_id=1, submit_time=0.0, procs=1, runtime=10.0, walltime=walltime)
+
+    def test_negative_submit_time_rejected(self):
+        with pytest.raises(ValueError):
+            Job(job_id=1, submit_time=-1.0, procs=1, runtime=10.0, walltime=20.0)
+
+    def test_zero_runtime_allowed(self):
+        job = Job(job_id=1, submit_time=0.0, procs=1, runtime=0.0, walltime=10.0)
+        assert job.runtime == 0.0
+
+
+class TestSpeedScaling:
+    def test_reference_speed_identity(self):
+        job = make_job(1, runtime=100.0, walltime=300.0)
+        assert job.runtime_on(1.0) == 100.0
+        assert job.walltime_on(1.0) == 300.0
+
+    def test_faster_cluster_shortens_both(self):
+        job = make_job(1, runtime=100.0, walltime=300.0)
+        assert job.runtime_on(2.0) == pytest.approx(50.0)
+        assert job.walltime_on(2.0) == pytest.approx(150.0)
+
+    def test_effective_runtime_capped_by_walltime(self):
+        job = Job(job_id=1, submit_time=0.0, procs=1, runtime=500.0, walltime=300.0)
+        assert job.effective_runtime_on(1.0) == 300.0
+        assert job.exceeds_walltime() is True
+
+    def test_effective_runtime_normal_case(self):
+        job = make_job(1, runtime=100.0, walltime=300.0)
+        assert job.effective_runtime_on(1.0) == 100.0
+        assert job.exceeds_walltime() is False
+
+    @pytest.mark.parametrize("speed", [0.0, -1.0])
+    def test_invalid_speed_rejected(self, speed):
+        job = make_job(1)
+        with pytest.raises(ValueError):
+            job.runtime_on(speed)
+        with pytest.raises(ValueError):
+            job.walltime_on(speed)
+
+
+class TestDerivedMetrics:
+    def test_response_time_none_until_completed(self):
+        job = make_job(1, submit_time=50.0)
+        assert job.response_time is None
+        job.completion_time = 250.0
+        assert job.response_time == 200.0
+
+    def test_wait_time_none_until_started(self):
+        job = make_job(1, submit_time=50.0)
+        assert job.wait_time is None
+        job.start_time = 80.0
+        assert job.wait_time == 30.0
+
+    def test_reset_dynamic_state(self):
+        job = make_job(1)
+        job.state = JobState.COMPLETED
+        job.cluster = "alpha"
+        job.start_time = 1.0
+        job.completion_time = 2.0
+        job.killed = True
+        job.reallocation_count = 3
+        job.reset_dynamic_state()
+        assert job.state is JobState.PENDING
+        assert job.cluster is None
+        assert job.start_time is None
+        assert job.completion_time is None
+        assert job.killed is False
+        assert job.reallocation_count == 0
+
+    def test_copy_is_pristine_and_independent(self):
+        job = make_job(7, submit_time=5.0, procs=3, runtime=10.0, walltime=40.0,
+                       origin_site="bordeaux")
+        job.state = JobState.RUNNING
+        job.cluster = "alpha"
+        clone = job.copy()
+        assert clone.job_id == 7
+        assert clone.procs == 3
+        assert clone.origin_site == "bordeaux"
+        assert clone.state is JobState.PENDING
+        assert clone.cluster is None
+        clone.state = JobState.COMPLETED
+        assert job.state is JobState.RUNNING

@@ -1,0 +1,55 @@
+"""Tests for the trace-replay client."""
+
+from __future__ import annotations
+
+from repro.grid.client import TraceClient
+from repro.grid.metascheduler import MetaScheduler
+from tests.conftest import make_job, make_server
+
+
+def test_first_and_last_submit_time(kernel):
+    servers = [make_server(kernel, "alpha", 8)]
+    scheduler = MetaScheduler(servers)
+    jobs = [make_job(1, submit_time=50.0), make_job(2, submit_time=10.0), make_job(3, submit_time=90.0)]
+    client = TraceClient(kernel, scheduler, jobs)
+    assert client.first_submit_time == 10.0
+    assert client.last_submit_time == 90.0
+
+
+def test_empty_trace(kernel):
+    servers = [make_server(kernel, "alpha", 8)]
+    client = TraceClient(kernel, MetaScheduler(servers), [])
+    assert client.first_submit_time is None
+    assert client.last_submit_time is None
+    client.start()
+    kernel.run()
+    assert client.submitted_count == 0
+
+
+def test_jobs_submitted_at_their_submit_time(kernel):
+    server = make_server(kernel, "alpha", 8)
+    scheduler = MetaScheduler([server])
+    jobs = [
+        make_job(1, submit_time=10.0, procs=1, runtime=5.0),
+        make_job(2, submit_time=30.0, procs=1, runtime=5.0),
+    ]
+    client = TraceClient(kernel, scheduler, jobs)
+    client.start()
+    kernel.run()
+    assert client.submitted_count == 2
+    assert jobs[0].start_time == 10.0
+    assert jobs[1].start_time == 30.0
+    assert jobs[0].completion_time == 15.0
+    assert jobs[1].completion_time == 35.0
+
+
+def test_start_is_idempotent(kernel):
+    server = make_server(kernel, "alpha", 8)
+    scheduler = MetaScheduler([server])
+    jobs = [make_job(1, submit_time=5.0, procs=1, runtime=1.0)]
+    client = TraceClient(kernel, scheduler, jobs)
+    client.start()
+    client.start()
+    kernel.run()
+    assert client.submitted_count == 1
+    assert scheduler.submitted_count == 1

@@ -1,0 +1,118 @@
+"""Tests for experiment configurations and sweep definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristics import HEURISTIC_NAMES
+from repro.experiments.config import (
+    BATCH_POLICIES,
+    DEFAULT_BENCH_TARGET_JOBS,
+    ExperimentConfig,
+    SweepConfig,
+    bench_scale,
+)
+from repro.workload.scenarios import SCENARIO_NAMES, get_scenario
+
+
+class TestBenchScale:
+    def test_scale_targets_requested_job_count(self):
+        for scenario in SCENARIO_NAMES:
+            scale = bench_scale(scenario, target_jobs=300)
+            total = get_scenario(scenario).total_jobs
+            assert 0 < scale <= 1.0
+            assert total * scale == pytest.approx(300, abs=1.5) or scale == 1.0
+
+    def test_scale_capped_at_one(self):
+        assert bench_scale("jun", target_jobs=10**9) == 1.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            bench_scale("jan", target_jobs=0)
+
+    def test_default_target_is_moderate(self):
+        assert 50 <= DEFAULT_BENCH_TARGET_JOBS <= 5000
+
+
+class TestExperimentConfig:
+    def test_baseline_config(self):
+        config = ExperimentConfig(scenario="jan")
+        assert config.is_baseline
+        assert config.algorithm is None
+        assert "baseline" in config.label()
+
+    def test_reallocation_config(self):
+        config = ExperimentConfig(
+            scenario="apr", heterogeneous=True, batch_policy="cbf",
+            algorithm="cancellation", heuristic="sufferage", scale=0.01,
+        )
+        assert not config.is_baseline
+        assert "cancellation" in config.label()
+        assert "heter" in config.label()
+
+    def test_baseline_derivation_shares_workload_key(self):
+        config = ExperimentConfig(
+            scenario="may", batch_policy="cbf", algorithm="standard",
+            heuristic="maxgain", scale=0.015,
+        )
+        baseline = config.baseline()
+        assert baseline.is_baseline
+        assert baseline.batch_policy == "cbf"
+        assert baseline.workload_key() == config.workload_key()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"scenario": "nope"},
+        {"scenario": "jan", "batch_policy": "sjf"},
+        {"scenario": "jan", "algorithm": "swap"},
+        {"scenario": "jan", "algorithm": "standard", "heuristic": "greedy"},
+        {"scenario": "jan", "scale": 0.0},
+        {"scenario": "jan", "scale": 1.5},
+    ])
+    def test_invalid_configurations(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_configs_are_hashable(self):
+        a = ExperimentConfig(scenario="jan", scale=0.01)
+        b = ExperimentConfig(scenario="jan", scale=0.01)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestSweepConfig:
+    def test_full_sweep_size(self):
+        sweep = SweepConfig(algorithm="standard", heterogeneous=False)
+        configs = sweep.configs()
+        # 7 scenarios x 2 policies x 6 heuristics
+        assert len(configs) == 7 * 2 * 6
+        assert all(c.algorithm == "standard" for c in configs)
+        assert {c.batch_policy for c in configs} == set(BATCH_POLICIES)
+        assert {c.heuristic for c in configs} == set(HEURISTIC_NAMES)
+
+    def test_restricted_sweep(self):
+        sweep = SweepConfig(
+            algorithm="cancellation",
+            heterogeneous=True,
+            scenarios=("jan",),
+            batch_policies=("fcfs",),
+            heuristics=("mct", "minmin"),
+        )
+        configs = sweep.configs()
+        assert len(configs) == 2
+        assert all(c.heterogeneous for c in configs)
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            SweepConfig(algorithm="none", heterogeneous=False)
+
+    def test_paper_experiment_count(self):
+        # The paper runs 364 experiments: 336 with reallocation plus 28
+        # baselines (7 scenarios x 2 platform flavours x 2 batch policies).
+        total_realloc = sum(
+            len(SweepConfig(algorithm=a, heterogeneous=h).configs())
+            for a in ("standard", "cancellation")
+            for h in (False, True)
+        )
+        baselines = 7 * 2 * 2
+        assert total_realloc == 336
+        assert total_realloc + baselines == 364

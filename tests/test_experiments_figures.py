@@ -1,0 +1,159 @@
+"""Tests for the figure builders and the text reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    Figure1Result,
+    Figure2Result,
+    figure1_example,
+    figure2_side_effects,
+    two_cluster_platform,
+)
+from repro.experiments.report import (
+    render_comparison,
+    render_figure1,
+    render_figure2,
+    render_gantt,
+    render_table,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.config import SweepConfig
+from repro.experiments.tables import comparison_summary, table_impacted, table_workload
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return figure1_example()
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return figure2_side_effects()
+
+
+class TestFigure1:
+    def test_jobs_h_and_i_migrate(self, figure1):
+        assert isinstance(figure1, Figure1Result)
+        assert figure1.moved_job_labels == ("h", "i")
+
+    def test_before_snapshot_matches_paper_setup(self, figure1):
+        before = figure1.before
+        cluster1 = before.for_cluster("cluster1")
+        cluster2 = before.for_cluster("cluster2")
+        running1 = [e.job_label for e in cluster1 if e.kind == "running"]
+        planned1 = [e.job_label for e in cluster1 if e.kind == "planned"]
+        assert sorted(running1) == ["a", "b"]
+        assert sorted(planned1) == ["g", "h", "i"]
+        # on cluster 2 the early completion of f let j start already
+        assert [e.job_label for e in cluster2 if e.kind == "running"] == ["j"]
+
+    def test_after_snapshot_moves_queue(self, figure1):
+        after = figure1.after
+        planned2 = [e.job_label for e in after.for_cluster("cluster2") if e.kind == "planned"]
+        assert sorted(planned2) == ["h", "i"]
+        planned1 = [e.job_label for e in after.for_cluster("cluster1") if e.kind == "planned"]
+        assert planned1 == ["g"]
+
+    def test_moved_jobs_gain_time(self, figure1):
+        def planned_end(snapshot, label):
+            entries = [e for e in snapshot.entries if e.job_label == label and e.kind == "planned"]
+            assert len(entries) == 1
+            return entries[0].end
+
+        for label in ("h", "i"):
+            assert planned_end(figure1.after, label) < planned_end(figure1.before, label)
+
+    def test_snapshot_taken_at_reallocation_time(self, figure1):
+        assert figure1.before.time == 3600.0
+        assert figure1.after.time == 3600.0
+
+    def test_description_mentions_moved_jobs(self, figure1):
+        assert "h" in figure1.description and "i" in figure1.description
+
+
+class TestFigure2:
+    def test_classification_is_consistent(self, figure2):
+        assert isinstance(figure2, Figure2Result)
+        assert figure2.impacted == len(figure2.advanced) + len(figure2.delayed)
+        assert all(delta.delta < 0 for delta in figure2.advanced)
+        assert all(delta.delta > 0 for delta in figure2.delayed)
+
+    def test_side_effects_exist(self, figure2):
+        # The whole point of Figure 2: reallocation changes completion times.
+        assert figure2.impacted > 0
+        assert figure2.reallocations > 0
+
+    def test_default_example_shows_both_directions(self, figure2):
+        # The default configuration is chosen so the figure shows both the
+        # advanced and the delayed jobs the paper's Figure 2 illustrates.
+        assert len(figure2.advanced) > 0
+        assert len(figure2.delayed) > 0
+
+    def test_description_summarises(self, figure2):
+        assert "reallocation" in figure2.description.lower()
+
+
+class TestTwoClusterPlatform:
+    def test_homogeneous(self):
+        platform = two_cluster_platform()
+        assert platform.is_homogeneous
+        assert len(platform) == 2
+
+    def test_heterogeneous(self):
+        platform = two_cluster_platform(heterogeneous=True)
+        assert not platform.is_homogeneous
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def small_sweep_pair(self):
+        runner = ExperimentRunner()
+        kwargs = dict(
+            heterogeneous=False,
+            scenarios=("jan",),
+            batch_policies=("fcfs",),
+            heuristics=("mct",),
+            target_jobs=60,
+        )
+        return (
+            runner.sweep(SweepConfig(algorithm="standard", **kwargs)),
+            runner.sweep(SweepConfig(algorithm="cancellation", **kwargs)),
+        )
+
+    def test_render_table(self, small_sweep_pair):
+        standard, _ = small_sweep_pair
+        text = render_table(table_impacted(standard))
+        assert "Table 2" in text
+        assert "FCFS" in text
+        assert "Mct" in text
+        assert "paper=" in text and "measured=" in text
+
+    def test_render_workload_table(self):
+        text = render_table(table_workload(target_jobs=50), decimals=0)
+        assert "Table 1" in text
+        assert "bordeaux" in text
+
+    def test_render_gantt(self, figure1):
+        text = render_gantt(figure1.before)
+        assert "cluster1" in text and "cluster2" in text
+        assert "RUN" in text and "PLAN" in text
+
+    def test_render_figure1(self, figure1):
+        text = render_figure1(figure1)
+        assert "Before reallocation" in text
+        assert "After reallocation" in text
+        assert "Moved jobs: h, i" in text
+
+    def test_render_figure2(self, figure2):
+        text = render_figure2(figure2)
+        assert "advanced jobs" in text
+        assert "delayed jobs" in text
+
+    def test_render_comparison(self, small_sweep_pair):
+        standard, cancellation = small_sweep_pair
+        text = render_comparison(comparison_summary(standard, cancellation))
+        assert "Algorithm 1" in text
+        assert "Algorithm 2" in text
+        assert "Paper headline" in text

@@ -1,0 +1,112 @@
+"""Tests for the experiment runner and its caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, SweepConfig
+from repro.experiments.runner import ExperimentRunner, SweepResult, shared_runner
+
+SMALL_SCALE = 0.004  # ~55 jobs for the jan scenario: fast but non-trivial
+
+
+@pytest.fixture
+def runner():
+    return ExperimentRunner()
+
+
+def config(**overrides):
+    defaults = dict(
+        scenario="jan",
+        batch_policy="fcfs",
+        algorithm="standard",
+        heuristic="minmin",
+        scale=SMALL_SCALE,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestWorkloadCache:
+    def test_same_key_returns_equal_fresh_copies(self, runner):
+        first = runner.workload(config())
+        second = runner.workload(config(algorithm="cancellation", heuristic="mct"))
+        assert [j.job_id for j in first] == [j.job_id for j in second]
+        assert [j.runtime for j in first] == [j.runtime for j in second]
+        # fresh copies: distinct objects in pristine state
+        assert first[0] is not second[0]
+
+    def test_different_scenarios_differ(self, runner):
+        jan = runner.workload(config())
+        feb = runner.workload(config(scenario="feb"))
+        assert [j.runtime for j in jan] != [j.runtime for j in feb]
+
+
+class TestRunCache:
+    def test_run_is_cached(self, runner):
+        cfg = config()
+        first = runner.run(cfg)
+        assert runner.cached_runs >= 1
+        second = runner.run(cfg)
+        assert first is second
+
+    def test_baseline_run_has_no_reallocations(self, runner):
+        baseline = runner.baseline(config())
+        assert baseline.total_reallocations == 0
+        assert baseline.reallocation_events == 0
+
+    def test_metrics_requires_reallocation_config(self, runner):
+        with pytest.raises(ValueError):
+            runner.metrics(config(algorithm=None, heuristic="mct"))
+
+    def test_metrics_cached_and_consistent(self, runner):
+        cfg = config()
+        metrics_a = runner.metrics(cfg)
+        metrics_b = runner.metrics(cfg)
+        assert metrics_a is metrics_b
+        assert 0.0 <= metrics_a.pct_impacted <= 100.0
+
+    def test_clear_empties_caches(self, runner):
+        runner.run(config())
+        runner.clear()
+        assert runner.cached_runs == 0
+
+    def test_result_metadata_includes_scenario(self, runner):
+        result = runner.run(config())
+        assert result.metadata["scenario"] == "jan"
+        assert result.metadata["scale"] == SMALL_SCALE
+
+
+class TestSweep:
+    def test_small_sweep(self, runner):
+        sweep_config = SweepConfig(
+            algorithm="standard",
+            heterogeneous=False,
+            scenarios=("jan",),
+            batch_policies=("fcfs",),
+            heuristics=("mct", "minmin"),
+            target_jobs=60,
+        )
+        sweep = runner.sweep(sweep_config)
+        assert isinstance(sweep, SweepResult)
+        assert len(sweep.metrics) == 2
+        cell = sweep.get("fcfs", "mct", "jan")
+        assert cell.compared_jobs > 0
+        assert set(sweep.cells()) == {("fcfs", "mct", "jan"), ("fcfs", "minmin", "jan")}
+
+    def test_sweep_shares_baselines(self, runner):
+        sweep_config = SweepConfig(
+            algorithm="standard",
+            heterogeneous=False,
+            scenarios=("jan",),
+            batch_policies=("fcfs",),
+            heuristics=("mct", "minmin", "maxmin"),
+            target_jobs=60,
+        )
+        runner.sweep(sweep_config)
+        # 3 reallocation runs + 1 shared baseline
+        assert runner.cached_runs == 4
+
+
+def test_shared_runner_is_singleton():
+    assert shared_runner() is shared_runner()

@@ -1,0 +1,171 @@
+"""Tests for the table builders and the paper reference data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.paper_data import (
+    PAPER_HEURISTIC_ORDER,
+    REALLOCATION_COUNT_SUMMARY,
+    paper_avg,
+    tables_with_avg,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import (
+    TABLE_NUMBERS,
+    TableResult,
+    build_metric_table,
+    comparison_summary,
+    table_early,
+    table_impacted,
+    table_reallocations,
+    table_response,
+    table_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweeps():
+    """One tiny sweep per algorithm, shared by the table tests."""
+    runner = ExperimentRunner()
+    kwargs = dict(
+        heterogeneous=False,
+        scenarios=("jan", "feb"),
+        batch_policies=("fcfs", "cbf"),
+        heuristics=("mct", "minmin"),
+        target_jobs=60,
+    )
+    standard = runner.sweep(SweepConfig(algorithm="standard", **kwargs))
+    cancellation = runner.sweep(SweepConfig(algorithm="cancellation", **kwargs))
+    return standard, cancellation
+
+
+class TestPaperData:
+    def test_tables_with_avg(self):
+        assert tables_with_avg() == (2, 3, 6, 7, 8, 9, 10, 11, 14, 15, 16, 17)
+
+    def test_paper_avg_contents(self):
+        table2 = paper_avg(2)
+        assert table2[("fcfs", "mct")] == pytest.approx(20.22)
+        assert table2[("cbf", "maxgain")] == pytest.approx(13.54)
+        assert len(table2) == 12
+
+    def test_paper_avg_response_tables_below_one(self):
+        for number in (8, 9, 16, 17):
+            values = paper_avg(number).values()
+            assert all(0.5 < v <= 1.0 for v in values)
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError):
+            paper_avg(4)
+
+    def test_reallocation_summary(self):
+        assert REALLOCATION_COUNT_SUMMARY["standard"]["avg_fraction"] == pytest.approx(0.023)
+        assert REALLOCATION_COUNT_SUMMARY["cancellation"]["max_fraction"] == pytest.approx(0.288)
+
+    def test_heuristic_order_matches_paper_rows(self):
+        assert PAPER_HEURISTIC_ORDER == (
+            "mct", "minmin", "maxmin", "maxgain", "maxrelgain", "sufferage"
+        )
+
+    def test_table_numbers_cover_all_sixteen_metric_tables(self):
+        assert sorted(TABLE_NUMBERS.values()) == list(range(2, 18))
+
+
+class TestMetricTables:
+    def test_impacted_table_structure(self, small_sweeps):
+        standard, _ = small_sweeps
+        table = table_impacted(standard)
+        assert table.number == 2
+        assert table.columns == ("jan", "feb", "AVG")
+        assert len(table.rows) == 4  # 2 policies x 2 heuristics
+        for row in table.rows:
+            assert all(0.0 <= value <= 100.0 for value in row.values)
+            # AVG column is the mean of the scenario columns
+            assert row.values[-1] == pytest.approx(sum(row.values[:-1]) / 2)
+
+    def test_reallocations_table_has_no_avg(self, small_sweeps):
+        standard, _ = small_sweeps
+        table = table_reallocations(standard)
+        assert table.number == 4
+        assert "AVG" not in table.columns
+        assert all(value >= 0 for row in table.rows for value in row.values)
+        assert "Paper reference" in table.notes
+
+    def test_early_table_values_are_percentages(self, small_sweeps):
+        _, cancellation = small_sweeps
+        table = table_early(cancellation)
+        assert table.number == 14
+        for row in table.rows:
+            assert all(0.0 <= value <= 100.0 for value in row.values)
+
+    def test_response_table_values_positive(self, small_sweeps):
+        _, cancellation = small_sweeps
+        table = table_response(cancellation)
+        assert table.number == 16
+        for row in table.rows:
+            assert all(value > 0.0 for value in row.values)
+
+    def test_paper_reference_attached(self, small_sweeps):
+        standard, _ = small_sweeps
+        table = table_impacted(standard)
+        assert table.paper_reference[("fcfs", "mct")] == pytest.approx(20.22)
+
+    def test_row_lookup(self, small_sweeps):
+        standard, _ = small_sweeps
+        table = table_impacted(standard)
+        row = table.row("cbf", "minmin")
+        assert row.batch_policy == "cbf"
+        with pytest.raises(KeyError):
+            table.row("fcfs", "sufferage")
+
+    def test_row_value_by_column(self, small_sweeps):
+        standard, _ = small_sweeps
+        table = table_impacted(standard)
+        row = table.row("fcfs", "mct")
+        assert row.value(table.columns, "jan") == row.values[0]
+
+    def test_column_values(self, small_sweeps):
+        standard, _ = small_sweeps
+        table = table_impacted(standard)
+        assert len(table.column_values("AVG")) == len(table.rows)
+
+    def test_unknown_metric_rejected(self, small_sweeps):
+        standard, _ = small_sweeps
+        with pytest.raises(ValueError):
+            build_metric_table(standard, "makespan")
+
+
+class TestWorkloadTable:
+    def test_full_scale_counts_match_paper(self):
+        table = table_workload(scale=1.0)
+        assert table.number == 1
+        jan = table.row("trace", "jan")
+        total_index = table.columns.index("total")
+        assert jan.values[total_index] == 14155
+        assert table.paper_reference[("jan", "total")] == 14155
+        pwa = table.row("trace", "pwa-g5k")
+        assert pwa.values[total_index] == 133135
+
+    def test_scaled_counts_are_proportional(self):
+        table = table_workload(target_jobs=100)
+        total_index = table.columns.index("total")
+        for row in table.rows:
+            assert 80 <= row.values[total_index] <= 130
+
+
+class TestComparisonSummary:
+    def test_summary_structure(self, small_sweeps):
+        standard, cancellation = small_sweeps
+        summary = comparison_summary(standard, cancellation)
+        assert summary.standard.algorithm == "standard"
+        assert summary.cancellation.algorithm == "cancellation"
+        assert 0.0 <= summary.standard.mean_pct_impacted <= 100.0
+        assert summary.headline["tasks_finishing_sooner_fraction"] == pytest.approx(0.05)
+        assert isinstance(summary.cancellation_improves_response, bool)
+
+    def test_summary_argument_order_enforced(self, small_sweeps):
+        standard, cancellation = small_sweeps
+        with pytest.raises(ValueError):
+            comparison_summary(cancellation, standard)

@@ -1,0 +1,143 @@
+"""Integration tests: the paper's qualitative findings on scaled scenarios.
+
+These tests run small but complete experiments (a few hundred jobs over two
+scenarios) and check the *shape* of the paper's findings rather than its
+absolute numbers:
+
+* reallocation changes the completion time of a minority of the jobs and
+  FCFS platforms show more impacted jobs than CBF platforms (Section 4.1);
+* the number of reallocations is small compared to the number of jobs
+  (Tables 4/5/12/13);
+* averaged over configurations, more impacted jobs finish earlier than
+  later and the average response time of impacted jobs improves
+  (Tables 6–9, 14–17);
+* Algorithm 2 (cancellation) performs at least as many reallocations as
+  Algorithm 1 and improves the mean relative response time (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, SweepConfig, bench_scale
+from repro.experiments.runner import ExperimentRunner
+
+SCENARIOS = ("feb", "may")
+TARGET_JOBS = 200
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="module")
+def sweeps(runner):
+    """Algorithm 1 and Algorithm 2 sweeps over two scenarios (homogeneous)."""
+    common = dict(
+        heterogeneous=False,
+        scenarios=SCENARIOS,
+        batch_policies=("fcfs", "cbf"),
+        heuristics=("mct", "minmin", "maxgain"),
+        target_jobs=TARGET_JOBS,
+    )
+    return {
+        "standard": runner.sweep(SweepConfig(algorithm="standard", **common)),
+        "cancellation": runner.sweep(SweepConfig(algorithm="cancellation", **common)),
+    }
+
+
+def cells(sweep, batch_policy=None):
+    return [
+        metrics
+        for (policy, _, _), metrics in sweep.metrics.items()
+        if batch_policy is None or policy == batch_policy
+    ]
+
+
+class TestReallocationActivity:
+    def test_reallocation_happens(self, sweeps):
+        for sweep in sweeps.values():
+            assert sum(m.reallocations for m in cells(sweep)) > 0
+
+    def test_reallocations_are_a_small_fraction_of_jobs(self, sweeps):
+        """The paper reports 2.3 % (Algorithm 1) / 5.8 % (Algorithm 2) on average."""
+        for sweep in sweeps.values():
+            fractions = [m.reallocations / m.compared_jobs for m in cells(sweep)]
+            assert statistics.mean(fractions) < 0.5
+
+    def test_cancellation_moves_at_least_as_much_as_standard(self, sweeps):
+        standard = sum(m.reallocations for m in cells(sweeps["standard"]))
+        cancellation = sum(m.reallocations for m in cells(sweeps["cancellation"]))
+        assert cancellation >= standard
+
+    def test_some_jobs_are_impacted_but_not_all(self, sweeps):
+        for sweep in sweeps.values():
+            impacted = [m.pct_impacted for m in cells(sweep)]
+            assert max(impacted) > 0.0
+            assert statistics.mean(impacted) < 90.0
+
+
+class TestFcfsVsCbf:
+    def test_fcfs_has_more_impacted_jobs_than_cbf(self, sweeps):
+        """CBF drains queues faster, so reallocation touches fewer jobs (Section 4.1)."""
+        sweep = sweeps["standard"]
+        fcfs = statistics.mean(m.pct_impacted for m in cells(sweep, "fcfs"))
+        cbf = statistics.mean(m.pct_impacted for m in cells(sweep, "cbf"))
+        assert fcfs >= cbf
+
+
+class TestUserMetrics:
+    def test_more_jobs_finish_earlier_than_later_on_average(self, sweeps):
+        for name, sweep in sweeps.items():
+            mean_earlier = statistics.mean(
+                m.pct_earlier for m in cells(sweep) if m.impacted_jobs > 0
+            )
+            assert mean_earlier > 50.0, name
+
+    def test_response_time_improves_on_average(self, sweeps):
+        for name, sweep in sweeps.items():
+            mean_relative = statistics.mean(m.relative_response_time for m in cells(sweep))
+            assert mean_relative < 1.0, name
+
+    def test_cancellation_improves_response_time_over_standard(self, sweeps):
+        """The key Section 4.3 conclusion."""
+        standard = statistics.mean(m.relative_response_time for m in cells(sweeps["standard"]))
+        cancellation = statistics.mean(
+            m.relative_response_time for m in cells(sweeps["cancellation"])
+        )
+        assert cancellation <= standard + 0.05
+
+
+class TestDeterminism:
+    def test_identical_configs_give_identical_metrics(self, runner):
+        config = ExperimentConfig(
+            scenario="feb",
+            batch_policy="fcfs",
+            algorithm="standard",
+            heuristic="minmin",
+            scale=bench_scale("feb", TARGET_JOBS),
+        )
+        first = runner.metrics(config)
+        fresh_runner = ExperimentRunner()
+        second = fresh_runner.metrics(config)
+        assert first.pct_impacted == second.pct_impacted
+        assert first.reallocations == second.reallocations
+        assert first.relative_response_time == second.relative_response_time
+
+    def test_heterogeneous_flavour_changes_results(self, runner):
+        homog = ExperimentConfig(
+            scenario="feb", batch_policy="fcfs", algorithm="standard",
+            heuristic="minmin", scale=bench_scale("feb", TARGET_JOBS),
+        )
+        heter = ExperimentConfig(
+            scenario="feb", heterogeneous=True, batch_policy="fcfs",
+            algorithm="standard", heuristic="minmin",
+            scale=bench_scale("feb", TARGET_JOBS),
+        )
+        baseline_homog = runner.baseline(homog)
+        baseline_heter = runner.baseline(heter)
+        # Faster clusters finish the same work earlier on average.
+        assert baseline_heter.mean_response_time() < baseline_homog.mean_response_time()

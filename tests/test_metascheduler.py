@@ -1,0 +1,155 @@
+"""Tests for the meta-scheduler (agent) mapping policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch.job import JobState
+from repro.grid.metascheduler import MappingPolicy, MetaScheduler
+from tests.conftest import make_job, make_server
+
+
+def build_servers(kernel, sizes=(4, 8), speeds=(1.0, 1.0), policy="fcfs"):
+    names = ["alpha", "beta", "gamma", "delta"]
+    return [
+        make_server(kernel, names[i], procs=size, speed=speeds[i], policy=policy)
+        for i, size in enumerate(sizes)
+    ]
+
+
+class TestMct:
+    def test_chooses_emptier_cluster(self, kernel):
+        servers = build_servers(kernel)
+        scheduler = MetaScheduler(servers)
+        # Fill alpha with a long job so beta gives the better ECT.
+        servers[0].submit(make_job(100, procs=4, runtime=1000.0, walltime=1000.0))
+        job = make_job(1, procs=4, runtime=100.0, walltime=100.0)
+        chosen = scheduler.submit(job)
+        assert chosen.name == "beta"
+        assert job.cluster == "beta"
+        assert scheduler.initial_mapping[1] == "beta"
+
+    def test_chooses_faster_cluster_when_both_empty(self, kernel):
+        servers = build_servers(kernel, speeds=(1.0, 2.0))
+        scheduler = MetaScheduler(servers)
+        job = make_job(1, procs=2, runtime=100.0, walltime=100.0)
+        chosen = scheduler.submit(job)
+        assert chosen.name == "beta"
+
+    def test_skips_clusters_that_are_too_small(self, kernel):
+        servers = build_servers(kernel, sizes=(4, 8))
+        scheduler = MetaScheduler(servers)
+        job = make_job(1, procs=6, runtime=10.0, walltime=20.0)
+        chosen = scheduler.submit(job)
+        assert chosen.name == "beta"
+
+    def test_rejects_job_fitting_nowhere(self, kernel):
+        servers = build_servers(kernel, sizes=(4, 8))
+        rejected = []
+        scheduler = MetaScheduler(servers, on_reject=rejected.append)
+        job = make_job(1, procs=100)
+        assert scheduler.submit(job) is None
+        assert job.state is JobState.REJECTED
+        assert rejected == [job]
+        assert scheduler.rejected_count == 1
+
+    def test_estimate_all(self, kernel):
+        servers = build_servers(kernel)
+        scheduler = MetaScheduler(servers)
+        job = make_job(1, procs=2, runtime=50.0, walltime=100.0)
+        estimates = scheduler.estimate_all(job)
+        assert set(estimates) == {"alpha", "beta"}
+        assert estimates["alpha"] == pytest.approx(100.0)
+
+    def test_submitted_counter(self, kernel):
+        servers = build_servers(kernel)
+        scheduler = MetaScheduler(servers)
+        for i in range(3):
+            scheduler.submit(make_job(i, procs=1, runtime=10.0))
+        assert scheduler.submitted_count == 3
+
+
+class TestRoundRobin:
+    def test_cycles_over_clusters(self, kernel):
+        servers = build_servers(kernel, sizes=(8, 8))
+        scheduler = MetaScheduler(servers, policy=MappingPolicy.ROUND_ROBIN)
+        chosen = [scheduler.submit(make_job(i, procs=1, runtime=10.0)).name for i in range(4)]
+        assert chosen == ["alpha", "beta", "alpha", "beta"]
+
+    def test_skips_too_small_cluster(self, kernel):
+        servers = build_servers(kernel, sizes=(2, 8))
+        scheduler = MetaScheduler(servers, policy="round_robin")
+        chosen = [scheduler.submit(make_job(i, procs=4, runtime=10.0)).name for i in range(3)]
+        assert chosen == ["beta", "beta", "beta"]
+
+
+class TestRandom:
+    def test_random_is_seeded(self, kernel):
+        servers = build_servers(kernel, sizes=(8, 8))
+        scheduler_a = MetaScheduler(servers, policy="random", rng=np.random.default_rng(7))
+        picks_a = [scheduler_a._choose(make_job(i, procs=1)).name for i in range(10)]
+        scheduler_b = MetaScheduler(servers, policy="random", rng=np.random.default_rng(7))
+        picks_b = [scheduler_b._choose(make_job(i, procs=1)).name for i in range(10)]
+        assert picks_a == picks_b
+
+    def test_random_only_uses_eligible_clusters(self, kernel):
+        servers = build_servers(kernel, sizes=(2, 8))
+        scheduler = MetaScheduler(servers, policy="random", rng=np.random.default_rng(0))
+        for i in range(10):
+            chosen = scheduler.submit(make_job(i, procs=4, runtime=1.0))
+            assert chosen.name == "beta"
+
+
+class TestLoadBasedPolicies:
+    def test_less_jobs_in_queue_prefers_shorter_queue(self, kernel):
+        servers = build_servers(kernel, sizes=(8, 8))
+        # alpha: one running job and two queued; beta: one running job only.
+        servers[0].submit(make_job(100, procs=8, runtime=1000.0, walltime=1000.0))
+        servers[0].submit(make_job(101, procs=8, runtime=10.0, walltime=10.0))
+        servers[0].submit(make_job(102, procs=8, runtime=10.0, walltime=10.0))
+        servers[1].submit(make_job(103, procs=8, runtime=2000.0, walltime=2000.0))
+        scheduler = MetaScheduler(servers, policy="less_jobs_in_queue")
+        chosen = scheduler.submit(make_job(1, procs=4, runtime=10.0))
+        assert chosen.name == "beta"
+
+    def test_less_work_left_prefers_lighter_cluster(self, kernel):
+        servers = build_servers(kernel, sizes=(8, 8))
+        # alpha has much more declared work than beta despite equal queue lengths.
+        servers[0].submit(make_job(100, procs=8, runtime=5000.0, walltime=5000.0))
+        servers[0].submit(make_job(101, procs=8, runtime=5000.0, walltime=5000.0))
+        servers[1].submit(make_job(102, procs=8, runtime=100.0, walltime=100.0))
+        servers[1].submit(make_job(103, procs=8, runtime=100.0, walltime=100.0))
+        scheduler = MetaScheduler(servers, policy="less_work_left")
+        chosen = scheduler.submit(make_job(1, procs=4, runtime=10.0))
+        assert chosen.name == "beta"
+
+    def test_load_policies_skip_undersized_clusters(self, kernel):
+        servers = build_servers(kernel, sizes=(2, 8))
+        for index, policy in enumerate(("less_jobs_in_queue", "less_work_left")):
+            scheduler = MetaScheduler(servers, policy=policy)
+            chosen = scheduler.submit(make_job(500 + index, procs=4, runtime=10.0))
+            assert chosen.name == "beta"
+
+    def test_work_left_accounts_for_running_and_waiting(self, kernel):
+        server = make_server(kernel, "alpha", procs=4)
+        assert server.work_left() == 0.0
+        server.submit(make_job(1, procs=4, runtime=100.0, walltime=100.0))   # running
+        server.submit(make_job(2, procs=2, runtime=50.0, walltime=80.0))     # waiting
+        assert server.work_left() == pytest.approx(4 * 100.0 + 2 * 80.0)
+
+
+class TestConstruction:
+    def test_requires_servers(self):
+        with pytest.raises(ValueError):
+            MetaScheduler([])
+
+    def test_policy_from_string(self, kernel):
+        scheduler = MetaScheduler(build_servers(kernel), policy="mct")
+        assert scheduler.policy is MappingPolicy.MCT
+
+    def test_server_by_name(self, kernel):
+        scheduler = MetaScheduler(build_servers(kernel))
+        assert scheduler.server_by_name("beta").name == "beta"
+        with pytest.raises(KeyError):
+            scheduler.server_by_name("nope")

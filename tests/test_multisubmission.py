@@ -1,0 +1,140 @@
+"""Tests for the multiple-submissions comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch.job import JobState
+from repro.grid.multisubmission import MultiSubmissionAgent, MultiSubmissionSimulation
+from repro.grid.simulation import GridSimulation
+from repro.platform.spec import ClusterSpec, PlatformSpec
+from repro.sim.kernel import SimulationKernel
+from tests.conftest import make_job, make_server
+
+
+@pytest.fixture
+def platform():
+    return PlatformSpec(
+        "multi-test", (ClusterSpec("one", 4, 1.0), ClusterSpec("two", 4, 1.0))
+    )
+
+
+def build_agent(kernel, copies=None):
+    servers = [make_server(kernel, "one", 4), make_server(kernel, "two", 4)]
+    return servers, MultiSubmissionAgent(kernel, servers, copies=copies)
+
+
+class TestAgent:
+    def test_submits_one_copy_per_cluster_by_default(self, kernel):
+        servers, agent = build_agent(kernel)
+        # Fill both clusters so the copies stay in the queues.
+        servers[0].submit(make_job(100, procs=4, runtime=500.0, walltime=500.0))
+        servers[1].submit(make_job(101, procs=4, runtime=500.0, walltime=500.0))
+        job = make_job(1, procs=4, runtime=50.0, walltime=50.0)
+        targets = agent.submit(job)
+        assert {s.name for s in targets} == {"one", "two"}
+        assert agent.submitted_copies == 2
+        assert servers[0].queue_length == 1
+        assert servers[1].queue_length == 1
+        assert job.state is JobState.WAITING
+
+    def test_limited_number_of_copies_picks_best_ect(self, kernel):
+        servers, agent = build_agent(kernel, copies=1)
+        # Cluster one is busy, cluster two is free: the single copy must go
+        # to cluster two.
+        servers[0].submit(make_job(100, procs=4, runtime=500.0, walltime=500.0))
+        job = make_job(1, procs=2, runtime=50.0, walltime=50.0)
+        targets = agent.submit(job)
+        assert [s.name for s in targets] == ["two"]
+        assert agent.submitted_copies == 1
+
+    def test_siblings_cancelled_when_one_copy_starts(self, kernel):
+        servers, agent = build_agent(kernel)
+        blocker_one = make_job(100, procs=4, runtime=300.0, walltime=300.0)
+        blocker_two = make_job(101, procs=4, runtime=100.0, walltime=100.0)
+        servers[0].submit(blocker_one)
+        servers[1].submit(blocker_two)
+        job = make_job(1, procs=4, runtime=50.0, walltime=50.0)
+        agent.submit(job)
+        kernel.run()
+        # The copy on cluster two starts first (its blocker ends at t=100);
+        # the copy on cluster one must have been cancelled.
+        assert job.cluster == "two"
+        assert job.start_time == 100.0
+        assert job.completion_time == 150.0
+        assert agent.cancelled_copies == 1
+        assert servers[0].queue_length == 0
+
+    def test_original_job_reflects_walltime_kill(self, kernel):
+        servers, agent = build_agent(kernel)
+        job = make_job(1, procs=2, runtime=500.0, walltime=100.0)
+        agent.submit(job)
+        kernel.run()
+        assert job.killed is True
+        assert job.completion_time == 100.0
+
+    def test_job_fitting_nowhere_is_rejected(self, kernel):
+        _, agent = build_agent(kernel)
+        job = make_job(1, procs=64)
+        assert agent.submit(job) is None
+        assert job.state is JobState.REJECTED
+        assert agent.rejected_count == 1
+
+    def test_on_completion_receives_original_job(self, kernel):
+        completed = []
+        servers, agent = build_agent(kernel)
+        agent.on_completion = completed.append
+        job = make_job(1, procs=2, runtime=30.0, walltime=60.0)
+        agent.submit(job)
+        kernel.run()
+        assert completed == [job]
+
+    def test_invalid_parameters(self, kernel):
+        with pytest.raises(ValueError):
+            MultiSubmissionAgent(kernel, [])
+        with pytest.raises(ValueError):
+            MultiSubmissionAgent(kernel, [make_server(kernel)], copies=-1)
+
+
+class TestSimulation:
+    def trace(self):
+        jobs = []
+        job_id = 0
+        for wave in range(3):
+            for _ in range(3):
+                jobs.append(make_job(job_id, submit_time=300.0 * wave, procs=2,
+                                     runtime=600.0, walltime=1800.0))
+                job_id += 1
+        return jobs
+
+    def test_all_jobs_complete(self, platform):
+        result = MultiSubmissionSimulation(platform, self.trace(), batch_policy="fcfs").run()
+        assert len(result) == 9
+        assert result.completed_count == 9
+        assert result.metadata["strategy"] == "multi-submission"
+        assert result.metadata["submitted_copies"] >= 9
+
+    def test_single_use(self, platform):
+        simulation = MultiSubmissionSimulation(platform, self.trace())
+        simulation.run()
+        with pytest.raises(RuntimeError):
+            simulation.run()
+
+    def test_multi_submission_never_worse_than_single_cluster_queueing(self, platform):
+        """Submitting everywhere cannot lose to the same workload forced onto
+        one cluster (a weak but deterministic sanity bound)."""
+        trace = self.trace()
+        single_cluster = PlatformSpec("single", (ClusterSpec("one", 4, 1.0),))
+        single = GridSimulation(single_cluster, [j.copy() for j in trace],
+                                batch_policy="fcfs").run()
+        multi = MultiSubmissionSimulation(platform, [j.copy() for j in trace],
+                                          batch_policy="fcfs").run()
+        assert multi.mean_response_time() <= single.mean_response_time() + 1e-6
+
+    def test_comparable_to_mct_mapping(self, platform):
+        """Multi-submission and MCT mapping see the same trace and both finish it."""
+        trace = self.trace()
+        mct = GridSimulation(platform, [j.copy() for j in trace], batch_policy="cbf").run()
+        multi = MultiSubmissionSimulation(platform, [j.copy() for j in trace],
+                                          batch_policy="cbf").run()
+        assert set(mct.completion_times()) == set(multi.completion_times())

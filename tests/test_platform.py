@@ -1,0 +1,108 @@
+"""Tests for platform specifications and the paper's platform catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.catalog import (
+    GRID5000_SITES,
+    PWA_G5K_SITES,
+    grid5000_platform,
+    platform_for_scenario,
+    pwa_g5k_platform,
+)
+from repro.platform.spec import ClusterSpec, PlatformSpec
+
+
+class TestClusterSpec:
+    def test_valid(self):
+        spec = ClusterSpec("alpha", 64, 1.2)
+        assert spec.procs == 64
+        assert spec.speed == 1.2
+
+    @pytest.mark.parametrize("procs", [0, -10])
+    def test_invalid_procs(self, procs):
+        with pytest.raises(ValueError):
+            ClusterSpec("alpha", procs)
+
+    @pytest.mark.parametrize("speed", [0.0, -0.5])
+    def test_invalid_speed(self, speed):
+        with pytest.raises(ValueError):
+            ClusterSpec("alpha", 4, speed)
+
+    def test_homogeneous_resets_speed(self):
+        spec = ClusterSpec("alpha", 64, 1.4)
+        homog = spec.homogeneous()
+        assert homog.speed == 1.0
+        assert homog.procs == 64
+        assert homog.name == "alpha"
+
+
+class TestPlatformSpec:
+    def test_basic_properties(self, small_platform):
+        assert len(small_platform) == 2
+        assert small_platform.cluster_names == ("alpha", "beta")
+        assert small_platform.total_procs == 12
+        assert small_platform.max_cluster_procs == 8
+        assert small_platform.is_homogeneous
+
+    def test_heterogeneous_detection(self, heterogeneous_platform):
+        assert not heterogeneous_platform.is_homogeneous
+
+    def test_get_by_name(self, small_platform):
+        assert small_platform.get("alpha").procs == 4
+        assert small_platform.get("missing") is None
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec("empty", ())
+
+    def test_duplicate_cluster_names_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(
+                "dup", (ClusterSpec("alpha", 4), ClusterSpec("alpha", 8))
+            )
+
+    def test_homogeneous_variant(self, heterogeneous_platform):
+        homog = heterogeneous_platform.homogeneous()
+        assert homog.is_homogeneous
+        assert homog.total_procs == heterogeneous_platform.total_procs
+        assert homog.cluster_names == heterogeneous_platform.cluster_names
+
+    def test_iteration(self, small_platform):
+        names = [spec.name for spec in small_platform]
+        assert names == ["alpha", "beta"]
+
+
+class TestCatalog:
+    def test_grid5000_homogeneous(self):
+        platform = grid5000_platform(heterogeneous=False)
+        assert platform.cluster_names == GRID5000_SITES
+        assert platform.is_homogeneous
+        assert platform.get("bordeaux").procs == 640
+        assert platform.get("lyon").procs == 270
+        assert platform.get("toulouse").procs == 434
+
+    def test_grid5000_heterogeneous_speeds(self):
+        platform = grid5000_platform(heterogeneous=True)
+        assert platform.get("bordeaux").speed == 1.0
+        assert platform.get("lyon").speed == pytest.approx(1.2)
+        assert platform.get("toulouse").speed == pytest.approx(1.4)
+
+    def test_pwa_platform(self):
+        platform = pwa_g5k_platform(heterogeneous=True)
+        assert platform.cluster_names == PWA_G5K_SITES
+        assert platform.get("bordeaux").procs == 640
+        assert platform.get("ctc").procs == 430
+        assert platform.get("sdsc").procs == 128
+        assert platform.get("ctc").speed == pytest.approx(1.2)
+        assert platform.get("sdsc").speed == pytest.approx(1.4)
+
+    def test_platform_for_scenario(self):
+        assert platform_for_scenario("jan").cluster_names == GRID5000_SITES
+        assert platform_for_scenario("pwa-g5k").cluster_names == PWA_G5K_SITES
+        assert platform_for_scenario("APR", heterogeneous=True).get("lyon").speed == 1.2
+
+    def test_platform_names_distinguish_flavours(self):
+        assert "homogeneous" in grid5000_platform(False).name
+        assert "heterogeneous" in grid5000_platform(True).name

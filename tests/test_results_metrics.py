@@ -1,0 +1,167 @@
+"""Tests for result containers and the paper's evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch.job import JobState
+from repro.core.metrics import compare_runs
+from repro.core.results import JobRecord, RunResult
+from tests.conftest import make_job
+
+
+def finished_job(job_id, submit=0.0, completion=100.0, cluster="alpha", procs=1, realloc=0):
+    job = make_job(job_id, submit_time=submit, procs=procs)
+    job.state = JobState.COMPLETED
+    job.cluster = cluster
+    job.start_time = max(submit, completion - job.runtime)
+    job.completion_time = completion
+    job.reallocation_count = realloc
+    return job
+
+
+def run_from(jobs, label="run", reallocations=0):
+    return RunResult.from_jobs(label, jobs, total_reallocations=reallocations)
+
+
+class TestJobRecord:
+    def test_from_job_snapshot(self):
+        job = finished_job(3, submit=10.0, completion=110.0, cluster="beta", realloc=2)
+        record = JobRecord.from_job(job)
+        assert record.job_id == 3
+        assert record.final_cluster == "beta"
+        assert record.completion_time == 110.0
+        assert record.response_time == 100.0
+        assert record.reallocation_count == 2
+        assert record.state is JobState.COMPLETED
+
+    def test_unfinished_job_record(self):
+        job = make_job(1, submit_time=5.0)
+        record = JobRecord.from_job(job)
+        assert record.completion_time is None
+        assert record.response_time is None
+        assert record.wait_time is None
+
+    def test_wait_time(self):
+        job = finished_job(1, submit=10.0, completion=210.0)
+        record = JobRecord.from_job(job)
+        assert record.wait_time == record.start_time - 10.0
+
+
+class TestRunResult:
+    def test_from_jobs_builds_records(self):
+        jobs = [finished_job(i, completion=100.0 + i) for i in range(3)]
+        result = run_from(jobs)
+        assert len(result) == 3
+        assert result[1].completion_time == 101.0
+        assert result.makespan == 102.0
+        assert result.completed_count == 3
+        assert result.rejected_count == 0
+
+    def test_counts(self):
+        jobs = [finished_job(1), make_job(2), make_job(3)]
+        jobs[1].state = JobState.REJECTED
+        jobs[2].state = JobState.COMPLETED
+        jobs[2].completion_time = 50.0
+        jobs[2].killed = True
+        result = run_from(jobs)
+        assert result.completed_count == 2
+        assert result.rejected_count == 1
+        assert result.killed_count == 1
+
+    def test_completion_and_response_times_exclude_unfinished(self):
+        jobs = [finished_job(1, submit=0.0, completion=100.0), make_job(2, submit_time=5.0)]
+        result = run_from(jobs)
+        assert set(result.completion_times()) == {1}
+        assert result.response_times()[1] == 100.0
+        assert result.mean_response_time() == 100.0
+
+    def test_mean_response_time_empty(self):
+        result = run_from([make_job(1)])
+        assert result.mean_response_time() == 0.0
+
+    def test_iteration_and_metadata(self):
+        result = RunResult.from_jobs("x", [finished_job(1)], metadata={"scenario": "jan"})
+        assert [record.job_id for record in result] == [1]
+        assert result.metadata["scenario"] == "jan"
+
+
+class TestCompareRuns:
+    def test_no_change_means_no_impact(self):
+        jobs = [finished_job(i, completion=100.0 + i) for i in range(4)]
+        baseline = run_from(jobs)
+        realloc = run_from(jobs, reallocations=0)
+        metrics = compare_runs(baseline, realloc)
+        assert metrics.compared_jobs == 4
+        assert metrics.impacted_jobs == 0
+        assert metrics.pct_impacted == 0.0
+        assert metrics.pct_earlier == 0.0
+        assert metrics.relative_response_time == 1.0
+
+    def test_impacted_and_earlier_percentages(self):
+        baseline = run_from([
+            finished_job(1, submit=0.0, completion=100.0),
+            finished_job(2, submit=0.0, completion=200.0),
+            finished_job(3, submit=0.0, completion=300.0),
+            finished_job(4, submit=0.0, completion=400.0),
+        ])
+        realloc = run_from([
+            finished_job(1, submit=0.0, completion=50.0),    # earlier
+            finished_job(2, submit=0.0, completion=250.0),   # later
+            finished_job(3, submit=0.0, completion=300.0),   # unchanged
+            finished_job(4, submit=0.0, completion=100.0),   # earlier
+        ], reallocations=5)
+        metrics = compare_runs(baseline, realloc)
+        assert metrics.compared_jobs == 4
+        assert metrics.impacted_jobs == 3
+        assert metrics.pct_impacted == 75.0
+        assert metrics.earlier_jobs == 2
+        assert metrics.pct_earlier == pytest.approx(100.0 * 2 / 3)
+        assert metrics.pct_later == pytest.approx(100.0 / 3)
+        assert metrics.reallocations == 5
+
+    def test_relative_response_time_over_impacted_jobs_only(self):
+        baseline = run_from([
+            finished_job(1, submit=0.0, completion=100.0),
+            finished_job(2, submit=0.0, completion=200.0),
+            finished_job(3, submit=0.0, completion=1000.0),  # unchanged
+        ])
+        realloc = run_from([
+            finished_job(1, submit=0.0, completion=50.0),
+            finished_job(2, submit=0.0, completion=100.0),
+            finished_job(3, submit=0.0, completion=1000.0),
+        ])
+        metrics = compare_runs(baseline, realloc)
+        # impacted jobs: 1 and 2; mean response 150 -> 75
+        assert metrics.relative_response_time == pytest.approx(0.5)
+        assert metrics.response_time_gain_pct == pytest.approx(50.0)
+
+    def test_jobs_missing_from_one_run_are_ignored(self):
+        baseline = run_from([
+            finished_job(1, completion=100.0),
+            finished_job(2, completion=200.0),
+        ])
+        realloc = run_from([finished_job(1, completion=90.0)])
+        metrics = compare_runs(baseline, realloc)
+        assert metrics.compared_jobs == 1
+        assert metrics.impacted_jobs == 1
+
+    def test_tolerance_filters_float_noise(self):
+        baseline = run_from([finished_job(1, completion=100.0)])
+        realloc = run_from([finished_job(1, completion=100.0 + 1e-9)])
+        metrics = compare_runs(baseline, realloc)
+        assert metrics.impacted_jobs == 0
+
+    def test_degradation_gives_relative_above_one(self):
+        baseline = run_from([finished_job(1, submit=0.0, completion=100.0)])
+        realloc = run_from([finished_job(1, submit=0.0, completion=150.0)])
+        metrics = compare_runs(baseline, realloc)
+        assert metrics.relative_response_time == pytest.approx(1.5)
+        assert metrics.pct_earlier == 0.0
+        assert metrics.response_time_gain_pct == pytest.approx(-50.0)
+
+    def test_empty_runs(self):
+        metrics = compare_runs(run_from([]), run_from([]))
+        assert metrics.compared_jobs == 0
+        assert metrics.pct_impacted == 0.0
+        assert metrics.relative_response_time == 1.0

@@ -1,0 +1,103 @@
+"""Tests for Event objects and the event trace."""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, EventType
+from repro.sim.trace import EventTrace, TraceRecord
+
+
+def _event(time=0.0, priority=0, sequence=0, callback=lambda: None, event_type=EventType.GENERIC):
+    return Event(
+        time=time,
+        priority=priority,
+        sequence=sequence,
+        callback=callback,
+        event_type=event_type,
+    )
+
+
+class TestEventOrdering:
+    def test_order_by_time(self):
+        assert _event(time=1.0) < _event(time=2.0, sequence=1)
+
+    def test_order_by_priority_on_equal_time(self):
+        early = _event(time=5.0, priority=0, sequence=1)
+        late = _event(time=5.0, priority=3, sequence=0)
+        assert early < late
+
+    def test_order_by_sequence_on_equal_time_and_priority(self):
+        first = _event(time=5.0, priority=1, sequence=0)
+        second = _event(time=5.0, priority=1, sequence=1)
+        assert first < second
+
+    def test_event_type_values_order_completion_before_submission(self):
+        assert EventType.JOB_COMPLETION < EventType.JOB_SUBMISSION < EventType.REALLOCATION
+
+
+class TestEventBehaviour:
+    def test_fire_invokes_callback_with_args(self):
+        calls = []
+        event = Event(
+            time=0.0,
+            priority=0,
+            sequence=0,
+            callback=lambda a, b: calls.append((a, b)),
+            args=(1, "x"),
+        )
+        event.fire()
+        assert calls == [(1, "x")]
+
+    def test_cancel_sets_flag(self):
+        event = _event()
+        assert event.cancelled is False
+        event.cancel()
+        assert event.cancelled is True
+
+
+class TestEventTrace:
+    def test_record_and_access(self):
+        trace = EventTrace()
+        trace.record(_event(time=1.5, event_type=EventType.REALLOCATION))
+        assert len(trace) == 1
+        record = trace[0]
+        assert isinstance(record, TraceRecord)
+        assert record.time == 1.5
+        assert record.event_type == EventType.REALLOCATION
+
+    def test_by_type_filters(self):
+        trace = EventTrace()
+        trace.record(_event(event_type=EventType.JOB_SUBMISSION))
+        trace.record(_event(event_type=EventType.JOB_COMPLETION))
+        trace.record(_event(event_type=EventType.JOB_SUBMISSION))
+        assert len(trace.by_type(EventType.JOB_SUBMISSION)) == 2
+        assert len(trace.by_type(EventType.REALLOCATION)) == 0
+
+    def test_max_records_cap(self):
+        trace = EventTrace(max_records=2)
+        for i in range(5):
+            trace.record(_event(time=float(i)))
+        assert len(trace) == 2
+        assert trace.dropped == 3
+        assert [r.time for r in trace] == [0.0, 1.0]
+
+    def test_clear_resets(self):
+        trace = EventTrace(max_records=1)
+        trace.record(_event())
+        trace.record(_event())
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+    def test_iteration(self):
+        trace = EventTrace()
+        for i in range(3):
+            trace.record(_event(time=float(i)))
+        assert [r.time for r in trace] == [0.0, 1.0, 2.0]
+
+    def test_callback_name_recorded(self):
+        def my_callback():
+            pass
+
+        trace = EventTrace()
+        trace.record(_event(callback=my_callback))
+        assert "my_callback" in trace[0].callback_name

@@ -1,0 +1,202 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.events import Event, EventType
+from repro.sim.kernel import SimulationError, SimulationKernel
+from repro.sim.trace import EventTrace
+
+
+class TestScheduling:
+    def test_initial_clock_is_start_time(self):
+        assert SimulationKernel().now == 0.0
+        assert SimulationKernel(start_time=42.0).now == 42.0
+
+    def test_schedule_at_returns_event(self, kernel):
+        event = kernel.schedule_at(10.0, lambda: None)
+        assert isinstance(event, Event)
+        assert event.time == 10.0
+        assert kernel.pending_events == 1
+
+    def test_schedule_in_uses_relative_delay(self):
+        kernel = SimulationKernel(start_time=100.0)
+        event = kernel.schedule_in(5.0, lambda: None)
+        assert event.time == 105.0
+
+    def test_schedule_in_past_raises(self, kernel):
+        kernel.schedule_at(10.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(5.0, lambda: None)
+
+    def test_schedule_negative_delay_raises(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.schedule_in(-1.0, lambda: None)
+
+    def test_schedule_non_finite_time_raises(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(math.inf, lambda: None)
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(math.nan, lambda: None)
+
+    def test_schedule_at_current_time_is_allowed(self, kernel):
+        fired = []
+        kernel.schedule_at(0.0, fired.append, 1)
+        kernel.run()
+        assert fired == [1]
+
+
+class TestExecutionOrder:
+    def test_events_fire_in_time_order(self, kernel):
+        fired = []
+        kernel.schedule_at(30.0, fired.append, "c")
+        kernel.schedule_at(10.0, fired.append, "a")
+        kernel.schedule_at(20.0, fired.append, "b")
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, kernel):
+        times = []
+        kernel.schedule_at(10.0, lambda: times.append(kernel.now))
+        kernel.schedule_at(25.0, lambda: times.append(kernel.now))
+        kernel.run()
+        assert times == [10.0, 25.0]
+        assert kernel.now == 25.0
+
+    def test_same_time_fifo_order(self, kernel):
+        fired = []
+        for label in ("first", "second", "third"):
+            kernel.schedule_at(5.0, fired.append, label)
+        kernel.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_priority_breaks_ties(self, kernel):
+        fired = []
+        kernel.schedule_at(5.0, fired.append, "submission", event_type=EventType.JOB_SUBMISSION)
+        kernel.schedule_at(5.0, fired.append, "completion", event_type=EventType.JOB_COMPLETION)
+        kernel.schedule_at(5.0, fired.append, "realloc", event_type=EventType.REALLOCATION)
+        kernel.run()
+        assert fired == ["completion", "submission", "realloc"]
+
+    def test_callback_can_schedule_more_events(self, kernel):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                kernel.schedule_in(1.0, chain, n + 1)
+
+        kernel.schedule_at(0.0, chain, 0)
+        kernel.run()
+        assert fired == [0, 1, 2, 3]
+        assert kernel.now == 3.0
+
+    def test_fired_events_counter(self, kernel):
+        for t in range(5):
+            kernel.schedule_at(float(t), lambda: None)
+        kernel.run()
+        assert kernel.fired_events == 5
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self, kernel):
+        fired = []
+        kernel.schedule_at(10.0, fired.append, "early")
+        kernel.schedule_at(100.0, fired.append, "late")
+        kernel.run(until=50.0)
+        assert fired == ["early"]
+        assert kernel.now == 50.0
+        assert kernel.pending_events == 1
+
+    def test_run_until_can_be_resumed(self, kernel):
+        fired = []
+        kernel.schedule_at(10.0, fired.append, "early")
+        kernel.schedule_at(100.0, fired.append, "late")
+        kernel.run(until=50.0)
+        kernel.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_when_no_events(self, kernel):
+        kernel.run(until=123.0)
+        assert kernel.now == 123.0
+
+    def test_run_empty_kernel(self, kernel):
+        kernel.run()
+        assert kernel.now == 0.0
+
+    def test_event_exactly_at_until_fires(self, kernel):
+        fired = []
+        kernel.schedule_at(50.0, fired.append, "edge")
+        kernel.run(until=50.0)
+        assert fired == ["edge"]
+
+
+class TestCancellationAndStop:
+    def test_cancelled_event_does_not_fire(self, kernel):
+        fired = []
+        event = kernel.schedule_at(10.0, fired.append, "x")
+        event.cancel()
+        kernel.run()
+        assert fired == []
+
+    def test_cancelled_event_not_counted(self, kernel):
+        event = kernel.schedule_at(10.0, lambda: None)
+        kernel.schedule_at(20.0, lambda: None)
+        event.cancel()
+        kernel.run()
+        assert kernel.fired_events == 1
+
+    def test_stop_interrupts_run(self, kernel):
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            kernel.stop()
+
+        kernel.schedule_at(1.0, stopper)
+        kernel.schedule_at(2.0, fired.append, "after")
+        kernel.run()
+        assert fired == ["stop"]
+        assert kernel.pending_events == 1
+
+    def test_step_returns_false_on_empty_heap(self, kernel):
+        assert kernel.step() is False
+
+    def test_step_fires_single_event(self, kernel):
+        fired = []
+        kernel.schedule_at(1.0, fired.append, "a")
+        kernel.schedule_at(2.0, fired.append, "b")
+        assert kernel.step() is True
+        assert fired == ["a"]
+
+    def test_reentrant_run_raises(self, kernel):
+        def nested():
+            kernel.run()
+
+        kernel.schedule_at(1.0, nested)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+
+class TestTraceIntegration:
+    def test_trace_records_fired_events(self):
+        trace = EventTrace()
+        kernel = SimulationKernel(trace=trace)
+        kernel.schedule_at(1.0, lambda: None, event_type=EventType.JOB_SUBMISSION)
+        kernel.schedule_at(2.0, lambda: None, event_type=EventType.JOB_COMPLETION)
+        kernel.run()
+        assert len(trace) == 2
+        assert trace[0].time == 1.0
+        assert trace[0].event_type == EventType.JOB_SUBMISSION
+
+    def test_cancelled_events_not_traced(self):
+        trace = EventTrace()
+        kernel = SimulationKernel(trace=trace)
+        event = kernel.schedule_at(1.0, lambda: None)
+        event.cancel()
+        kernel.run()
+        assert len(trace) == 0

@@ -1,0 +1,153 @@
+"""Tests for the paper's workload scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.catalog import grid5000_platform, pwa_g5k_platform
+from repro.platform.spec import ClusterSpec, PlatformSpec
+from repro.workload.scenarios import (
+    MONTH_SECONDS,
+    SCENARIO_NAMES,
+    SIX_MONTHS_SECONDS,
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    table1_counts,
+)
+
+
+class TestTable1Data:
+    def test_scenario_names(self):
+        assert SCENARIO_NAMES == ("jan", "feb", "mar", "apr", "may", "jun", "pwa-g5k")
+
+    def test_monthly_counts_match_paper(self):
+        counts = table1_counts()
+        assert counts["jan"] == {"bordeaux": 13084, "lyon": 583, "toulouse": 488}
+        assert counts["feb"]["total" if False else "lyon"] == 2695
+        assert counts["apr"]["bordeaux"] == 33250
+        assert sum(counts["jan"].values()) == 14155
+        assert sum(counts["feb"].values()) == 9640
+        assert sum(counts["mar"].values()) == 20937
+        assert sum(counts["apr"].values()) == 36041
+        assert sum(counts["may"].values()) == 10517
+        assert sum(counts["jun"].values()) == 9182
+
+    def test_pwa_counts_match_paper(self):
+        counts = table1_counts()["pwa-g5k"]
+        assert counts == {"bordeaux": 74647, "ctc": 42873, "sdsc": 15615}
+        assert sum(counts.values()) == 133135
+
+    def test_counts_are_copies(self):
+        counts = table1_counts()
+        counts["jan"]["bordeaux"] = 0
+        assert table1_counts()["jan"]["bordeaux"] == 13084
+
+
+class TestScenarioDefinition:
+    def test_get_scenario(self):
+        scenario = get_scenario("jan")
+        assert scenario.name == "jan"
+        assert scenario.duration == MONTH_SECONDS
+        assert scenario.total_jobs == 14155
+
+    def test_get_scenario_case_insensitive(self):
+        assert get_scenario("MAR").name == "mar"
+
+    def test_pwa_duration_is_six_months(self):
+        assert get_scenario("pwa-g5k").duration == SIX_MONTHS_SECONDS
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            get_scenario("july")
+
+    def test_all_scenarios_order(self):
+        assert [s.name for s in all_scenarios()] == list(SCENARIO_NAMES)
+
+    def test_scaled_counts(self):
+        scenario = get_scenario("jan")
+        scaled = scenario.scaled_counts(0.01)
+        assert scaled["bordeaux"] == 131
+        assert scaled["lyon"] == 6
+        assert scaled["toulouse"] == 5
+
+    def test_scaled_counts_minimum_one(self):
+        scenario = get_scenario("jan")
+        scaled = scenario.scaled_counts(1e-6)
+        assert all(count >= 1 for count in scaled.values())
+
+    def test_scaled_counts_invalid_scale(self):
+        with pytest.raises(ValueError):
+            get_scenario("jan").scaled_counts(0.0)
+
+
+class TestGeneration:
+    def test_generate_monthly_scenario(self):
+        platform = grid5000_platform()
+        jobs = get_scenario("feb").generate(platform, scale=0.01)
+        assert len(jobs) == 96  # 58 + 27 + 11
+        sites = {job.origin_site for job in jobs}
+        assert sites == {"bordeaux", "lyon", "toulouse"}
+        assert [j.job_id for j in jobs] == list(range(len(jobs)))
+
+    def test_generate_pwa_scenario(self):
+        platform = pwa_g5k_platform()
+        jobs = get_scenario("pwa-g5k").generate(platform, scale=0.001)
+        sites = {job.origin_site for job in jobs}
+        assert sites == {"bordeaux", "ctc", "sdsc"}
+
+    def test_generation_is_deterministic(self):
+        platform = grid5000_platform()
+        a = get_scenario("jan").generate(platform, scale=0.005)
+        b = get_scenario("jan").generate(platform, scale=0.005)
+        assert [(j.submit_time, j.procs, j.runtime) for j in a] == [
+            (j.submit_time, j.procs, j.runtime) for j in b
+        ]
+
+    def test_seed_changes_trace(self):
+        platform = grid5000_platform()
+        a = get_scenario("jan").generate(platform, scale=0.005, seed=1)
+        b = get_scenario("jan").generate(platform, scale=0.005, seed=2)
+        assert [j.runtime for j in a] != [j.runtime for j in b]
+
+    def test_jobs_fit_their_origin_cluster(self):
+        platform = grid5000_platform()
+        jobs = get_scenario("mar").generate(platform, scale=0.01)
+        for job in jobs:
+            assert job.procs <= platform.get(job.origin_site).procs
+
+    def test_generate_requires_matching_platform(self):
+        wrong_platform = PlatformSpec("wrong", (ClusterSpec("nancy", 100),))
+        with pytest.raises(ValueError):
+            get_scenario("jan").generate(wrong_platform, scale=0.01)
+
+    def test_generate_invalid_scale(self):
+        with pytest.raises(ValueError):
+            get_scenario("jan").generate(grid5000_platform(), scale=-0.5)
+
+    def test_scaled_window_shrinks_with_scale(self):
+        platform = grid5000_platform()
+        scenario = get_scenario("jun")
+        small = scenario.generate(platform, scale=0.01)
+        large = scenario.generate(platform, scale=0.05)
+        assert max(j.submit_time for j in small) <= 0.01 * scenario.duration
+        assert max(j.submit_time for j in large) <= 0.05 * scenario.duration
+
+    def test_heterogeneous_platform_accepted(self):
+        platform = grid5000_platform(heterogeneous=True)
+        jobs = get_scenario("may").generate(platform, scale=0.01)
+        assert len(jobs) > 0
+
+
+class TestScenarioDataclass:
+    def test_custom_scenario(self):
+        scenario = Scenario(
+            name="custom",
+            site_counts={"bordeaux": 100, "lyon": 50},
+            duration=86400.0,
+            target_utilization=0.5,
+        )
+        assert scenario.sites == ("bordeaux", "lyon")
+        assert scenario.total_jobs == 150
+        jobs = scenario.generate(grid5000_platform(), scale=1.0)
+        assert len(jobs) == 150

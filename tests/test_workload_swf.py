@@ -1,0 +1,117 @@
+"""Tests for the Standard Workload Format parser/writer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.workload.swf import SWFError, parse_swf, parse_swf_file, write_swf
+from tests.conftest import make_job
+
+
+def swf_line(
+    job_id=1,
+    submit=100,
+    wait=5,
+    runtime=300,
+    alloc=4,
+    req_procs=4,
+    req_time=600,
+    status=1,
+):
+    fields = [job_id, submit, wait, runtime, alloc, -1, -1, req_procs, req_time, -1,
+              status, 1, 1, 1, 1, 1, -1, -1]
+    return " ".join(str(f) for f in fields)
+
+
+class TestParsing:
+    def test_basic_record(self):
+        jobs = parse_swf([swf_line()], site="ctc")
+        assert len(jobs) == 1
+        job = jobs[0]
+        assert job.job_id == 1
+        assert job.submit_time == 100.0
+        assert job.procs == 4
+        assert job.runtime == 300.0
+        assert job.walltime == 600.0
+        assert job.origin_site == "ctc"
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = ["; UnixStartTime: 0", "", swf_line(job_id=7), "; trailing comment"]
+        jobs = parse_swf(text)
+        assert [j.job_id for j in jobs] == [7]
+
+    def test_requested_procs_used_when_allocated_missing(self):
+        jobs = parse_swf([swf_line(alloc=-1, req_procs=16)])
+        assert jobs[0].procs == 16
+
+    def test_job_without_procs_skipped(self):
+        jobs = parse_swf([swf_line(alloc=-1, req_procs=-1)])
+        assert jobs == []
+
+    def test_job_without_any_time_skipped(self):
+        jobs = parse_swf([swf_line(runtime=-1, req_time=-1)])
+        assert jobs == []
+
+    def test_missing_walltime_synthesised_from_runtime(self):
+        jobs = parse_swf([swf_line(runtime=100, req_time=-1)], walltime_factor=2.5)
+        assert jobs[0].walltime == pytest.approx(250.0)
+
+    def test_missing_runtime_kept_as_bad_job(self):
+        # "bad" jobs (failed/cancelled) are kept, as the paper requires.
+        jobs = parse_swf([swf_line(runtime=-1, req_time=600)])
+        assert len(jobs) == 1
+        assert jobs[0].runtime == 1.0
+        assert jobs[0].walltime == 600.0
+
+    def test_negative_submit_time_clamped(self):
+        jobs = parse_swf([swf_line(submit=-50)])
+        assert jobs[0].submit_time == 0.0
+
+    def test_short_line_raises(self):
+        with pytest.raises(SWFError):
+            parse_swf(["1 2 3"])
+
+    def test_non_numeric_field_raises(self):
+        bad = swf_line().replace("300", "abc", 1)
+        with pytest.raises(SWFError):
+            parse_swf([bad])
+
+    def test_multiple_records_order_preserved(self):
+        jobs = parse_swf([swf_line(job_id=1, submit=10), swf_line(job_id=2, submit=5)])
+        assert [j.job_id for j in jobs] == [1, 2]
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self):
+        original = [
+            make_job(1, submit_time=10.0, procs=2, runtime=100.0, walltime=200.0),
+            make_job(2, submit_time=20.0, procs=8, runtime=50.0, walltime=300.0),
+        ]
+        buffer = io.StringIO()
+        count = write_swf(original, buffer, comment="generated for tests")
+        assert count == 2
+        text = buffer.getvalue()
+        assert text.startswith("; generated for tests")
+        parsed = parse_swf(text.splitlines())
+        assert len(parsed) == 2
+        for before, after in zip(original, parsed):
+            assert after.job_id == before.job_id
+            assert after.submit_time == before.submit_time
+            assert after.procs == before.procs
+            assert after.runtime == pytest.approx(before.runtime)
+            assert after.walltime == pytest.approx(before.walltime)
+
+    def test_parse_swf_file(self, tmp_path):
+        path = tmp_path / "ctc.swf"
+        path.write_text("; header\n" + swf_line(job_id=3) + "\n")
+        jobs = parse_swf_file(path)
+        assert len(jobs) == 1
+        assert jobs[0].origin_site == "ctc"
+
+    def test_parse_swf_file_with_explicit_site(self, tmp_path):
+        path = tmp_path / "log.swf"
+        path.write_text(swf_line() + "\n")
+        jobs = parse_swf_file(path, site="sdsc")
+        assert jobs[0].origin_site == "sdsc"

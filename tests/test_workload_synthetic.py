@@ -1,0 +1,142 @@
+"""Tests for the synthetic workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.synthetic import SiteWorkloadModel, generate_site_trace, merge_traces
+from tests.conftest import make_job
+
+
+def model(**overrides):
+    defaults = dict(
+        site="bordeaux",
+        n_jobs=200,
+        duration=86_400.0,
+        site_procs=128,
+        target_utilization=0.7,
+    )
+    defaults.update(overrides)
+    return SiteWorkloadModel(**defaults)
+
+
+class TestModelValidation:
+    def test_valid_model(self):
+        m = model()
+        assert m.effective_max_procs == 128
+
+    @pytest.mark.parametrize("field,value", [
+        ("n_jobs", 0),
+        ("duration", 0.0),
+        ("site_procs", 0),
+        ("target_utilization", 0.0),
+        ("target_utilization", 2.0),
+        ("serial_fraction", 1.5),
+        ("burstiness", -0.1),
+        ("underestimate_fraction", 1.2),
+    ])
+    def test_invalid_parameters(self, field, value):
+        with pytest.raises(ValueError):
+            model(**{field: value})
+
+    def test_max_procs_capped_by_site_size(self):
+        assert model(max_procs=4096).effective_max_procs == 128
+        assert model(max_procs=16).effective_max_procs == 16
+
+
+class TestGeneration:
+    def test_job_count_and_ids(self):
+        jobs = generate_site_trace(model(n_jobs=50), np.random.default_rng(0), first_job_id=100)
+        assert len(jobs) == 50
+        assert [j.job_id for j in jobs] == list(range(100, 150))
+
+    def test_deterministic_with_seed(self):
+        a = generate_site_trace(model(), np.random.default_rng(42))
+        b = generate_site_trace(model(), np.random.default_rng(42))
+        assert [(j.submit_time, j.procs, j.runtime, j.walltime) for j in a] == [
+            (j.submit_time, j.procs, j.runtime, j.walltime) for j in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_site_trace(model(), np.random.default_rng(1))
+        b = generate_site_trace(model(), np.random.default_rng(2))
+        assert [j.runtime for j in a] != [j.runtime for j in b]
+
+    def test_submissions_sorted_and_within_window(self):
+        m = model()
+        jobs = generate_site_trace(m, np.random.default_rng(3))
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= m.duration for t in times)
+
+    def test_procs_within_bounds(self):
+        m = model(max_procs=64)
+        jobs = generate_site_trace(m, np.random.default_rng(4))
+        assert all(1 <= j.procs <= 64 for j in jobs)
+
+    def test_serial_fraction_zero_gives_parallel_jobs(self):
+        m = model(serial_fraction=0.0)
+        jobs = generate_site_trace(m, np.random.default_rng(5))
+        assert all(j.procs >= 2 for j in jobs)
+
+    def test_serial_fraction_one_gives_only_serial_jobs(self):
+        m = model(serial_fraction=1.0)
+        jobs = generate_site_trace(m, np.random.default_rng(6))
+        assert all(j.procs == 1 for j in jobs)
+
+    def test_runtimes_within_bounds(self):
+        m = model(min_runtime=60.0, max_runtime=7200.0)
+        jobs = generate_site_trace(m, np.random.default_rng(7))
+        assert all(60.0 <= j.runtime <= 7200.0 for j in jobs)
+
+    def test_walltimes_mostly_overestimated(self):
+        m = model(underestimate_fraction=0.0)
+        jobs = generate_site_trace(m, np.random.default_rng(8))
+        assert all(j.walltime >= j.runtime for j in jobs)
+        # over-estimation should be substantial on average
+        factors = [j.walltime / j.runtime for j in jobs]
+        assert np.mean(factors) > 1.5
+
+    def test_underestimate_fraction_produces_killed_jobs(self):
+        m = model(underestimate_fraction=0.5, n_jobs=400)
+        jobs = generate_site_trace(m, np.random.default_rng(9))
+        under = [j for j in jobs if j.walltime < j.runtime]
+        assert len(under) > 50
+
+    def test_walltimes_rounded_to_minutes(self):
+        jobs = generate_site_trace(model(), np.random.default_rng(10))
+        assert all(j.walltime % 60.0 == 0.0 for j in jobs)
+
+    def test_utilization_calibration(self):
+        m = model(n_jobs=2000, min_runtime=1.0, max_runtime=1e9)
+        jobs = generate_site_trace(m, np.random.default_rng(11))
+        core_seconds = sum(j.procs * j.runtime for j in jobs)
+        target = m.target_utilization * m.site_procs * m.duration
+        assert core_seconds == pytest.approx(target, rel=0.05)
+
+    def test_origin_site_recorded(self):
+        jobs = generate_site_trace(model(site="lyon"), np.random.default_rng(12))
+        assert all(j.origin_site == "lyon" for j in jobs)
+
+
+class TestMergeTraces:
+    def test_merge_sorts_and_renumbers(self):
+        trace_a = [make_job(5, submit_time=100.0, origin_site="a"),
+                   make_job(6, submit_time=10.0, origin_site="a")]
+        trace_b = [make_job(5, submit_time=50.0, origin_site="b")]
+        merged = merge_traces([trace_a, trace_b])
+        assert [j.job_id for j in merged] == [0, 1, 2]
+        assert [j.submit_time for j in merged] == [10.0, 50.0, 100.0]
+        assert [j.origin_site for j in merged] == ["a", "b", "a"]
+
+    def test_merge_preserves_job_attributes(self):
+        trace = [make_job(1, submit_time=5.0, procs=7, runtime=11.0, walltime=22.0)]
+        merged = merge_traces([trace])
+        assert merged[0].procs == 7
+        assert merged[0].runtime == 11.0
+        assert merged[0].walltime == 22.0
+
+    def test_merge_empty(self):
+        assert merge_traces([]) == []
+        assert merge_traces([[], []]) == []
