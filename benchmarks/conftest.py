@@ -6,10 +6,17 @@ sweeps are expensive (up to 98 simulations each), so they are cached in a
 session-scoped runner: the first benchmark that needs a sweep pays for it
 and the other tables of the same group reuse the cached runs.
 
-The trace size is controlled by the ``REPRO_BENCH_TARGET_JOBS`` environment
-variable (default 300 jobs per scenario).  The paper replays the full
-traces — up to 133 135 jobs — which is possible here too by raising the
-target, at a proportional cost in wall-clock time.
+The harness is controlled by environment variables:
+
+* ``REPRO_BENCH_TARGET_JOBS`` — trace size (default 300 jobs per
+  scenario).  The paper replays the full traces — up to 133 135 jobs —
+  which is possible here too by raising the target, at a proportional
+  cost in wall-clock time.
+* ``REPRO_BENCH_WORKERS`` — sweep simulations run on this many worker
+  processes (default 0 = serial, the historical behaviour).
+* ``REPRO_BENCH_STORE`` — optional directory of a persistent
+  :class:`~repro.store.ResultStore`; a warm store lets the whole table
+  suite run with zero re-simulations.
 """
 
 from __future__ import annotations
@@ -24,11 +31,17 @@ from repro.experiments.runner import ExperimentRunner
 #: Approximate number of jobs generated per scenario for the benchmarks.
 TARGET_JOBS = int(os.environ.get("REPRO_BENCH_TARGET_JOBS", "300"))
 
+#: Worker processes used by the sweep campaigns (0 = serial).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+#: Optional persistent result store shared across benchmark sessions.
+STORE_DIR = os.environ.get("REPRO_BENCH_STORE") or None
+
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     """Session-wide experiment runner (caches traces, runs and metrics)."""
-    return ExperimentRunner()
+    return ExperimentRunner(store=STORE_DIR, workers=WORKERS or None)
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Regenerate any table or figure of the paper from the command line.
 
+This driver is kept for backwards compatibility; it forwards to the real
+CLI, ``python -m repro`` (see ``python -m repro --help``), which adds a
+persistent result store and parallel execution (``--workers N``).
+
 Examples::
 
     # Table 8 (relative response time, homogeneous, Algorithm 1)
@@ -21,38 +25,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
+import tempfile
 
-from repro.experiments.config import SweepConfig
-from repro.experiments.figures import figure1_example, figure2_side_effects
-from repro.experiments.report import (
-    render_comparison,
-    render_figure1,
-    render_figure2,
-    render_table,
-)
-from repro.experiments.runner import ExperimentRunner
-from repro.experiments.tables import (
-    TABLE_NUMBERS,
-    comparison_summary,
-    build_metric_table,
-    table_workload,
-)
-
-#: table number -> (metric, algorithm, heterogeneous)
-_TABLE_SPECS = {number: spec for spec, number in TABLE_NUMBERS.items()}
+from repro.__main__ import main as repro_main
 
 
-def render_metric_table(runner: ExperimentRunner, number: int, target_jobs: int) -> str:
-    metric, algorithm, heterogeneous = _TABLE_SPECS[number]
-    sweep = runner.sweep(
-        SweepConfig(algorithm=algorithm, heterogeneous=heterogeneous, target_jobs=target_jobs)
-    )
-    decimals = 0 if metric == "reallocations" else 2
-    return render_table(build_metric_table(sweep, metric), decimals=decimals)
-
-
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--table", type=int, choices=range(1, 18), metavar="1-17",
@@ -64,55 +44,64 @@ def main() -> None:
     parser.add_argument("--target-jobs", type=int, default=300,
                         help="approximate jobs per scenario (default 300; the paper uses "
                              "the full traces, up to 133135 jobs)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run simulations on N worker processes")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persist results to (and reuse them from) a result "
+                             "store; by default this driver re-simulates "
+                             "everything, like it always did")
+    parser.add_argument("--fresh", action="store_true",
+                        help="with --store: ignore stored results and refresh them")
     parser.add_argument("--verbose", action="store_true", help="print one line per simulation")
     args = parser.parse_args()
 
     if not (args.table or args.figure or args.summary or args.all):
         parser.print_help()
-        sys.exit(1)
+        return 1
 
-    runner = ExperimentRunner(verbose=args.verbose)
+    # Each forwarded sub-command builds its own runner, so simulations are
+    # shared between them through a store.  Without an explicit --store the
+    # historical behaviour is preserved (nothing persists beyond this
+    # invocation) by using a throwaway store for the process lifetime.
+    scratch_store = None
+    if args.store is None:
+        scratch_store = tempfile.mkdtemp(prefix="repro-tables-")
+    common = ["--target-jobs", str(args.target_jobs),
+              "--store", args.store if args.store is not None else scratch_store]
+    if args.workers is not None:
+        common += ["--workers", str(args.workers)]
+    if args.verbose:
+        common.append("--verbose")
 
-    if args.all:
-        print(render_table(table_workload(target_jobs=args.target_jobs), decimals=0))
-        print()
-        for number in sorted(_TABLE_SPECS):
-            print(render_metric_table(runner, number, args.target_jobs))
-            print()
-        print(render_figure1(figure1_example()))
-        print()
-        print(render_figure2(figure2_side_effects()))
-        print()
-        standard = runner.sweep(
-            SweepConfig(algorithm="standard", heterogeneous=False, target_jobs=args.target_jobs)
-        )
-        cancellation = runner.sweep(
-            SweepConfig(algorithm="cancellation", heterogeneous=False,
-                        target_jobs=args.target_jobs)
-        )
-        print(render_comparison(comparison_summary(standard, cancellation)))
-        return
+    # --fresh must only apply to the first sweep-running sub-command: the
+    # later ones read the store that first command just refreshed.
+    fresh_pending = args.fresh
 
-    if args.table == 1:
-        print(render_table(table_workload(target_jobs=args.target_jobs), decimals=0))
-    elif args.table is not None:
-        print(render_metric_table(runner, args.table, args.target_jobs))
+    def forward(argv: list[str]) -> int:
+        nonlocal fresh_pending
+        if fresh_pending and argv[0] in ("tables", "summary"):
+            argv = [*argv, "--fresh"]
+            fresh_pending = False
+        return repro_main(argv)
 
-    if args.figure == 1:
-        print(render_figure1(figure1_example()))
-    elif args.figure == 2:
-        print(render_figure2(figure2_side_effects()))
-
-    if args.summary:
-        standard = runner.sweep(
-            SweepConfig(algorithm="standard", heterogeneous=False, target_jobs=args.target_jobs)
-        )
-        cancellation = runner.sweep(
-            SweepConfig(algorithm="cancellation", heterogeneous=False,
-                        target_jobs=args.target_jobs)
-        )
-        print(render_comparison(comparison_summary(standard, cancellation)))
+    try:
+        status = 0
+        if args.all:
+            status = forward(["tables", *common]) or status
+            status = forward(["figures"]) or status
+            status = forward(["summary", *common]) or status
+            return status
+        if args.table is not None:
+            status = forward(["tables", "--table", str(args.table), *common]) or status
+        if args.figure is not None:
+            status = forward(["figures", "--figure", str(args.figure)]) or status
+        if args.summary:
+            status = forward(["summary", *common]) or status
+        return status
+    finally:
+        if scratch_store is not None:
+            shutil.rmtree(scratch_store, ignore_errors=True)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,10 +1,50 @@
-"""Setuptools shim.
+"""Packaging for the reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file exists so the
-package can be installed in editable mode on environments whose setuptools
-predates PEP 660 editable wheels (``pip install -e . --no-use-pep517``).
+``pip install -e .`` installs the ``repro`` package from ``src/`` (no
+``PYTHONPATH=src`` hack needed) and exposes the ``repro`` console entry
+point (``repro tables``, ``repro campaign run``, ...).
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+_HERE = os.path.abspath(os.path.dirname(__file__))
+
+
+def _read(name: str) -> str:
+    path = os.path.join(_HERE, name)
+    if not os.path.exists(path):
+        return ""
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+setup(
+    name="repro-caniou-cd10",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Analysis of Tasks Reallocation in a Dedicated "
+        "Grid Environment' (Caniou, Charrier, Desprez, 2010)"
+    ),
+    long_description=_read("README.md"),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": ["repro = repro.__main__:main"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: System :: Distributed Computing",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -50,6 +50,7 @@ from repro.platform import (
     pwa_g5k_platform,
 )
 from repro.sim import SimulationKernel
+from repro.store import ResultStore
 from repro.workload import (
     SCENARIO_NAMES,
     Scenario,
@@ -80,6 +81,7 @@ __all__ = [
     "PlatformSpec",
     "ReallocationAgent",
     "ReallocationAlgorithm",
+    "ResultStore",
     "RunResult",
     "SCENARIO_NAMES",
     "Scenario",

@@ -1,0 +1,231 @@
+"""Command-line interface of the reproduction.
+
+Usage (installed entry point ``repro`` or ``python -m repro``)::
+
+    # Execute (or resume) the full experiment campaign on 8 workers,
+    # persisting every simulation to the on-disk store
+    python -m repro campaign run --workers 8
+
+    # Only Algorithm 1 on the homogeneous platforms
+    python -m repro campaign run --algorithm standard --platform homogeneous
+
+    # Regenerate tables (all 17, or a selection); a warm store finishes
+    # with zero re-simulations
+    python -m repro tables
+    python -m repro tables --table 2 8 --workers 4
+
+    # Figures and the Algorithm 1 vs Algorithm 2 comparison
+    python -m repro figures
+    python -m repro summary
+
+The result store defaults to ``.repro-store`` in the current directory
+(override with ``--store DIR`` or the ``REPRO_STORE`` environment
+variable; disable persistence with ``--no-store``).  ``--fresh`` ignores
+stored results and re-simulates everything, refreshing the store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import DEFAULT_BENCH_TARGET_JOBS, SweepConfig
+from repro.experiments.figures import figure1_example, figure2_side_effects
+from repro.experiments.report import (
+    render_comparison,
+    render_figure1,
+    render_figure2,
+    render_table,
+)
+from repro.experiments.runner import ExperimentRunner, SweepResult
+from repro.experiments.tables import (
+    TABLE_NUMBERS,
+    build_metric_table,
+    comparison_summary,
+    table_workload,
+)
+from repro.store import ResultStore
+
+#: table number -> (metric, algorithm, heterogeneous)
+TABLE_SPECS = {number: spec for spec, number in TABLE_NUMBERS.items()}
+
+_ALGORITHMS = {"standard": ("standard",), "cancellation": ("cancellation",),
+               "both": ("standard", "cancellation")}
+_PLATFORMS = {"homogeneous": (False,), "heterogeneous": (True,),
+              "both": (False, True)}
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target-jobs", type=int, default=DEFAULT_BENCH_TARGET_JOBS, metavar="N",
+        help="approximate jobs per scenario (default %(default)s; the paper "
+             "replays up to 133135 jobs)")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run simulations on N worker processes (default: serial)")
+    parser.add_argument(
+        "--store", default=os.environ.get("REPRO_STORE", ".repro-store"),
+        metavar="DIR", help="persistent result store directory "
+                            "(default %(default)s, or $REPRO_STORE)")
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="disable the persistent store (everything stays in memory)")
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="ignore stored results: re-simulate and refresh the store")
+    parser.add_argument(
+        "--verbose", action="store_true", help="print one line per simulation")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campaign = commands.add_parser(
+        "campaign", help="execute experiment campaigns",
+        description="Execute experiment campaigns against the result store.")
+    campaign_commands = campaign.add_subparsers(dest="campaign_command", required=True)
+    run = campaign_commands.add_parser(
+        "run", help="run (or resume) a campaign of sweeps",
+        description="Run every simulation of the selected sweeps, skipping "
+                    "results already present in the store.")
+    run.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="both",
+                     help="reallocation algorithm(s) to sweep (default both)")
+    run.add_argument("--platform", choices=sorted(_PLATFORMS), default="both",
+                     help="platform flavour(s) to sweep (default both)")
+    _add_common_options(run)
+
+    tables = commands.add_parser(
+        "tables", help="regenerate tables of the paper",
+        description="Regenerate tables 1-17 (or a selection) of the paper.")
+    tables.add_argument("--table", type=int, nargs="+", choices=range(1, 18),
+                        metavar="1-17", help="tables to regenerate (default: all)")
+    _add_common_options(tables)
+
+    figures = commands.add_parser(
+        "figures", help="regenerate figures of the paper",
+        description="Regenerate figures 1 and 2 of the paper.")
+    figures.add_argument("--figure", type=int, nargs="+", choices=(1, 2),
+                         help="figures to regenerate (default: both)")
+
+    summary = commands.add_parser(
+        "summary", help="Algorithm 1 vs Algorithm 2 comparison (Section 4.3)",
+        description="Compare the two reallocation algorithms over matching "
+                    "homogeneous sweeps.")
+    _add_common_options(summary)
+    return parser
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    store = None
+    if not args.no_store:
+        if os.path.exists(args.store) and not os.path.isdir(args.store):
+            raise SystemExit(
+                f"repro: error: --store {args.store!r} exists and is not a directory"
+            )
+        store = ResultStore(args.store)
+    return ExperimentRunner(verbose=args.verbose, store=store, workers=args.workers)
+
+
+def _sweep(runner: ExperimentRunner, args: argparse.Namespace,
+           algorithm: str, heterogeneous: bool,
+           cache: Dict[Tuple[str, bool], SweepResult]) -> SweepResult:
+    key = (algorithm, heterogeneous)
+    if key not in cache:
+        cache[key] = runner.sweep(
+            SweepConfig(algorithm=algorithm, heterogeneous=heterogeneous,
+                        target_jobs=args.target_jobs),
+            fresh=args.fresh,
+        )
+    return cache[key]
+
+
+def _print_stats(runner: ExperimentRunner, elapsed: float) -> None:
+    line = f"campaign: {runner.simulated_runs} simulated"
+    if runner.store is not None:
+        stats = runner.store.stats
+        line += (f", {stats.hits} store hits, {stats.writes} stored"
+                 f" (store: {runner.store.root})")
+    print(f"{line}, {elapsed:.1f}s elapsed", file=sys.stderr)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    started = time.perf_counter()
+    cache: Dict[Tuple[str, bool], SweepResult] = {}
+    for algorithm in _ALGORITHMS[args.algorithm]:
+        for heterogeneous in _PLATFORMS[args.platform]:
+            sweep = _sweep(runner, args, algorithm, heterogeneous, cache)
+            flavour = "heterogeneous" if heterogeneous else "homogeneous"
+            print(f"sweep {algorithm}/{flavour}: {len(sweep.metrics)} cells")
+    _print_stats(runner, time.perf_counter() - started)
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    numbers: List[int] = sorted(set(args.table)) if args.table else list(range(1, 18))
+    runner = _make_runner(args)
+    started = time.perf_counter()
+    cache: Dict[Tuple[str, bool], SweepResult] = {}
+    for number in numbers:
+        if number == 1:
+            print(render_table(table_workload(target_jobs=args.target_jobs), decimals=0))
+        else:
+            metric, algorithm, heterogeneous = TABLE_SPECS[number]
+            sweep = _sweep(runner, args, algorithm, heterogeneous, cache)
+            decimals = 0 if metric == "reallocations" else 2
+            print(render_table(build_metric_table(sweep, metric), decimals=decimals))
+        print()
+    _print_stats(runner, time.perf_counter() - started)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    numbers = sorted(set(args.figure)) if args.figure else [1, 2]
+    for number in numbers:
+        if number == 1:
+            print(render_figure1(figure1_example()))
+        else:
+            print(render_figure2(figure2_side_effects()))
+        print()
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    started = time.perf_counter()
+    cache: Dict[Tuple[str, bool], SweepResult] = {}
+    standard = _sweep(runner, args, "standard", False, cache)
+    cancellation = _sweep(runner, args, "cancellation", False, cache)
+    print(render_comparison(comparison_summary(standard, cancellation)))
+    _print_stats(runner, time.perf_counter() - started)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "campaign":
+            return _cmd_campaign_run(args)
+        if args.command == "tables":
+            return _cmd_tables(args)
+        if args.command == "figures":
+            return _cmd_figures(args)
+        if args.command == "summary":
+            return _cmd_summary(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`): exit quietly,
+        # pointing the dangling descriptor at devnull so interpreter
+        # shutdown does not print a second traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,8 +17,8 @@ run *without* reallocation (the reference experiment):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Tuple
 
 from repro.core.results import RunResult
 
@@ -56,6 +56,23 @@ class ComparisonMetrics:
     def response_time_gain_pct(self) -> float:
         """Gain on the average response time, in percent (positive = faster)."""
         return (1.0 - self.relative_response_time) * 100.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (used by :mod:`repro.store`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ComparisonMetrics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            compared_jobs=int(data["compared_jobs"]),
+            impacted_jobs=int(data["impacted_jobs"]),
+            pct_impacted=float(data["pct_impacted"]),
+            reallocations=int(data["reallocations"]),
+            earlier_jobs=int(data["earlier_jobs"]),
+            pct_earlier=float(data["pct_earlier"]),
+            relative_response_time=float(data["relative_response_time"]),
+        )
 
 
 def _impacted_job_ids(

@@ -11,7 +11,7 @@ without.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Mapping, Optional
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional
 
 from repro.batch.job import Job, JobState
 
@@ -63,6 +63,45 @@ class JobRecord:
             state=job.state,
             killed=job.killed,
             reallocation_count=job.reallocation_count,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization (JSON-safe, used by repro.store and the campaign     #
+    # engine's process boundary)                                         #
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (floats, ints, strings, ``None``)."""
+        return {
+            "job_id": self.job_id,
+            "submit_time": self.submit_time,
+            "procs": self.procs,
+            "runtime": self.runtime,
+            "walltime": self.walltime,
+            "origin_site": self.origin_site,
+            "final_cluster": self.final_cluster,
+            "start_time": self.start_time,
+            "completion_time": self.completion_time,
+            "state": self.state.value,
+            "killed": self.killed,
+            "reallocation_count": self.reallocation_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            job_id=int(data["job_id"]),
+            submit_time=float(data["submit_time"]),
+            procs=int(data["procs"]),
+            runtime=float(data["runtime"]),
+            walltime=float(data["walltime"]),
+            origin_site=data["origin_site"],
+            final_cluster=data["final_cluster"],
+            start_time=data["start_time"],
+            completion_time=data["completion_time"],
+            state=JobState(data["state"]),
+            killed=bool(data["killed"]),
+            reallocation_count=int(data["reallocation_count"]),
         )
 
 
@@ -119,6 +158,39 @@ class RunResult:
             reallocation_events=reallocation_events,
             makespan=makespan,
             metadata=dict(metadata or {}),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (see :meth:`JobRecord.to_dict`).
+
+        Records are emitted in ascending job-id order so the serialized
+        form of a result is canonical: two equal results produce identical
+        JSON documents.
+        """
+        return {
+            "label": self.label,
+            "total_reallocations": self.total_reallocations,
+            "reallocation_events": self.reallocation_events,
+            "makespan": self.makespan,
+            "metadata": dict(self.metadata),
+            "records": [
+                self.records[job_id].to_dict() for job_id in sorted(self.records)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        records = {
+            int(raw["job_id"]): JobRecord.from_dict(raw) for raw in data["records"]
+        }
+        return cls(
+            label=data["label"],
+            records=records,
+            total_reallocations=int(data["total_reallocations"]),
+            reallocation_events=int(data["reallocation_events"]),
+            makespan=float(data["makespan"]),
+            metadata=dict(data["metadata"]),
         )
 
     # ------------------------------------------------------------------ #

@@ -2,7 +2,11 @@
 
 * :mod:`repro.experiments.config` — experiment configurations and the
   default (scaled-down) sizing used by the benchmark suite.
-* :mod:`repro.experiments.runner` — runs single experiments and full
+* :mod:`repro.experiments.campaign` — the parallel campaign engine:
+  deduplicates shared baselines, skips stored results and fans the
+  remaining simulations out over a process pool.
+* :mod:`repro.experiments.runner` — facade over the campaign engine and
+  the :mod:`repro.store` result store; runs single experiments and full
   sweeps, with caching so the sixteen tables that share the same 364
   underlying simulations do not re-run them.
 * :mod:`repro.experiments.tables` — builders for Tables 1–17.
@@ -13,6 +17,12 @@
   (Table 1 and the AVG columns) used for paper-vs-measured reporting.
 """
 
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignStats,
+    plan_units,
+    run_campaign,
+)
 from repro.experiments.config import (
     DEFAULT_BENCH_TARGET_JOBS,
     ExperimentConfig,
@@ -32,6 +42,8 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "CampaignResult",
+    "CampaignStats",
     "DEFAULT_BENCH_TARGET_JOBS",
     "ExperimentConfig",
     "ExperimentRunner",
@@ -39,6 +51,8 @@ __all__ = [
     "SweepResult",
     "TableResult",
     "bench_scale",
+    "plan_units",
+    "run_campaign",
     "comparison_summary",
     "figure1_example",
     "figure2_side_effects",

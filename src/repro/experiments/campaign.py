@@ -1,0 +1,291 @@
+"""Parallel, incremental execution of experiment campaigns.
+
+A *campaign* is a set of :class:`~repro.experiments.config.ExperimentConfig`
+cells — typically the 84 reallocation configurations of one sweep, or all
+364 cells of the paper.  The engine
+
+1. expands the set with the baseline of every reallocation configuration
+   and **deduplicates** it (one sweep shares one baseline per scenario and
+   batch policy; the naive expansion would re-run it six times);
+2. partitions the remaining work into independent units — every
+   configuration is a self-contained simulation whose workload is
+   regenerated *inside* the worker from ``(scenario, flavour, scale,
+   seed)``, so units ship only a small config dict across the process
+   boundary;
+3. skips units whose outcome is already known (caller-provided in-memory
+   results, then the persistent :class:`~repro.store.ResultStore`);
+4. executes the rest serially (``workers <= 1``) or on a
+   ``ProcessPoolExecutor``, persisting fresh outcomes back to the store;
+5. computes the paper's comparison metrics for every requested
+   reallocation configuration in the parent process.
+
+Determinism: each simulation is a single-threaded discrete-event run fully
+determined by its configuration, and metrics are computed from completed
+results in the parent, so a 4-worker campaign is byte-identical to the
+serial path — only wall-clock time changes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.batch.job import Job
+from repro.core.metrics import ComparisonMetrics, compare_runs
+from repro.core.results import RunResult
+from repro.experiments.config import ExperimentConfig
+from repro.grid.simulation import GridSimulation
+from repro.platform.catalog import platform_for_scenario
+from repro.store import ResultStore
+from repro.workload.scenarios import get_scenario
+
+#: Per-process template cache of generated traces, keyed by
+#: ``ExperimentConfig.workload_key()``.  Workers inherit an empty cache and
+#: fill it on first use; configurations sharing a trace pay generation once
+#: per process instead of once per simulation.
+_TRACE_CACHE: Dict[Tuple, List[Job]] = {}
+
+
+def fresh_workload(config: ExperimentConfig) -> List[Job]:
+    """Fresh copies of the trace of ``config`` (process-local template cache)."""
+    key = config.workload_key()
+    template = _TRACE_CACHE.get(key)
+    if template is None:
+        platform = platform_for_scenario(config.scenario, config.heterogeneous)
+        scenario = get_scenario(config.scenario)
+        template = scenario.generate(platform, scale=config.scale, seed=config.seed)
+        _TRACE_CACHE[key] = template
+    return [job.copy() for job in template]
+
+
+def clear_trace_cache() -> None:
+    """Drop the process-local trace templates (mostly for tests)."""
+    _TRACE_CACHE.clear()
+
+
+def execute_config(
+    config: ExperimentConfig, jobs: Optional[List[Job]] = None
+) -> RunResult:
+    """Run the single simulation described by ``config``.
+
+    This is the one place a configuration is turned into a
+    :class:`GridSimulation`; the runner facade and the pool workers both
+    delegate here.  ``jobs`` may be supplied by callers that keep their own
+    trace cache.
+    """
+    platform = platform_for_scenario(config.scenario, config.heterogeneous)
+    if jobs is None:
+        jobs = fresh_workload(config)
+    simulation = GridSimulation(
+        platform,
+        jobs,
+        batch_policy=config.batch_policy,
+        mapping_policy=config.mapping_policy,
+        reallocation=config.algorithm,
+        heuristic=config.heuristic,
+        reallocation_period=config.reallocation_period,
+        reallocation_threshold=config.reallocation_threshold,
+        mapping_seed=config.seed,
+    )
+    result = simulation.run()
+    result.metadata["scenario"] = config.scenario
+    result.metadata["scale"] = config.scale
+    return result
+
+
+def _pool_worker(config_data: Mapping[str, Any]) -> Dict[str, Any]:
+    """Executed in the worker process: simulate one configuration.
+
+    Configs and results cross the process boundary as plain dicts — the
+    same canonical form the store persists — which keeps pickling cheap and
+    independent of internal class layout.
+    """
+    config = ExperimentConfig.from_dict(config_data)
+    return execute_config(config).to_dict()
+
+
+@dataclass(slots=True)
+class CampaignStats:
+    """Where the results of one campaign came from."""
+
+    #: simulations actually executed during this campaign
+    simulated: int = 0
+    #: results served from the persistent store
+    store_hits: int = 0
+    #: results the caller already held in memory
+    memory_hits: int = 0
+    #: metrics served from the persistent store
+    metrics_store_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.simulated + self.store_hits + self.memory_hits
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """Outcome of :func:`run_campaign`.
+
+    ``results`` holds one :class:`RunResult` per unique unit (requested
+    configurations plus deduplicated baselines); ``metrics`` one
+    :class:`ComparisonMetrics` per requested reallocation configuration.
+    """
+
+    results: Dict[ExperimentConfig, RunResult] = field(default_factory=dict)
+    metrics: Dict[ExperimentConfig, ComparisonMetrics] = field(default_factory=dict)
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+
+def plan_units(configs: Sequence[ExperimentConfig]) -> List[ExperimentConfig]:
+    """Expand ``configs`` with their baselines and deduplicate.
+
+    Baselines come first (stable insertion order otherwise) so a verbose
+    campaign log reads naturally; order does not affect results.
+    """
+    ordered: Dict[ExperimentConfig, None] = {}
+    for config in configs:
+        if not config.is_baseline:
+            ordered.setdefault(config.baseline(), None)
+    for config in configs:
+        ordered.setdefault(config, None)
+    return list(ordered)
+
+
+def run_campaign(
+    configs: Sequence[ExperimentConfig],
+    *,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    fresh: bool = False,
+    known_results: Optional[Mapping[ExperimentConfig, RunResult]] = None,
+    known_metrics: Optional[Mapping[ExperimentConfig, ComparisonMetrics]] = None,
+    progress: Optional[Callable[[ExperimentConfig, RunResult, str], None]] = None,
+) -> CampaignResult:
+    """Execute a set of experiment configurations.
+
+    Parameters
+    ----------
+    configs:
+        The cells to evaluate.  Baselines of reallocation configurations
+        are added (and deduplicated) automatically.
+    workers:
+        ``None``, 0 or 1 runs everything in-process; ``N > 1`` uses a
+        process pool of ``N`` workers.
+    store:
+        Optional persistent :class:`ResultStore`.  Known outcomes are
+        loaded from it and fresh outcomes written back.
+    fresh:
+        Distrust the persistent store: stored results and metrics are
+        ignored, every remaining unit is re-simulated and its stored
+        document overwritten.  ``known_results``/``known_metrics`` are
+        still honoured — they were computed in this process with the
+        current code, so re-running them (e.g. the baselines shared by
+        consecutive ``--fresh`` sweeps) would only repeat deterministic
+        work; pass empty mappings to force a full re-simulation.
+    known_results / known_metrics:
+        In-memory outcomes the caller already holds (e.g. the runner's
+        caches); consulted before the store.
+    progress:
+        Callback invoked as ``progress(config, result, source)`` with
+        ``source`` in ``{"memory", "store", "simulated"}``.
+    """
+    campaign = CampaignResult()
+    known_results = known_results or {}
+    known_metrics = known_metrics or {}
+
+    # Resolve cells whose metrics are already known up front: a fully-warm
+    # campaign then never hydrates a RunResult document (at paper scale a
+    # result holds up to ~133k job records; the metrics are seven numbers).
+    needed: List[ExperimentConfig] = []
+    for config in configs:
+        if config.is_baseline:
+            needed.append(config)
+            continue
+        if config in campaign.metrics:
+            continue
+        metrics = known_metrics.get(config)
+        if metrics is None and store is not None and not fresh:
+            metrics = store.get_metrics(config)
+            if metrics is not None:
+                campaign.stats.metrics_store_hits += 1
+        if metrics is None:
+            needed.append(config)
+        else:
+            campaign.metrics[config] = metrics
+
+    units = plan_units(needed)
+
+    def note(config: ExperimentConfig, result: RunResult, source: str) -> None:
+        campaign.results[config] = result
+        if progress is not None:
+            progress(config, result, source)
+
+    pending: List[ExperimentConfig] = []
+    for config in units:
+        cached = known_results.get(config)
+        if cached is not None:
+            campaign.stats.memory_hits += 1
+            note(config, cached, "memory")
+            continue
+        if store is not None and not fresh:
+            stored = store.get_result(config)
+            if stored is not None:
+                campaign.stats.store_hits += 1
+                note(config, stored, "store")
+                continue
+        pending.append(config)
+
+    if pending:
+        if workers is None or workers <= 1:
+            for config in pending:
+                result = execute_config(config)
+                campaign.stats.simulated += 1
+                if store is not None:
+                    store.put_result(config, result)
+                note(config, result, "simulated")
+        else:
+            _run_pool(campaign, pending, workers, store, note)
+
+    # Metrics are cheap to derive, so compute them in the parent where both
+    # runs of every pair are guaranteed to be present.
+    for config in needed:
+        if config.is_baseline or config in campaign.metrics:
+            continue
+        baseline = campaign.results[config.baseline()]
+        realloc = campaign.results[config]
+        metrics = compare_runs(baseline, realloc)
+        if store is not None:
+            store.put_metrics(config, metrics)
+        campaign.metrics[config] = metrics
+    return campaign
+
+
+def _run_pool(
+    campaign: CampaignResult,
+    pending: Sequence[ExperimentConfig],
+    workers: int,
+    store: Optional[ResultStore],
+    note: Callable[[ExperimentConfig, RunResult, str], None],
+) -> None:
+    """Fan ``pending`` out over a process pool and collect the results."""
+    max_workers = min(workers, len(pending))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            pool.submit(_pool_worker, config.to_dict()): config for config in pending
+        }
+        outcomes: Dict[ExperimentConfig, RunResult] = {}
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                config = futures[future]
+                result = RunResult.from_dict(future.result())
+                campaign.stats.simulated += 1
+                if store is not None:
+                    store.put_result(config, result)
+                outcomes[config] = result
+    # Record in plan order so verbose logs and insertion order stay
+    # deterministic regardless of completion order.
+    for config in pending:
+        note(config, outcomes[config], "simulated")

@@ -16,8 +16,8 @@ load of each scenario.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.heuristics import HEURISTIC_NAMES
 from repro.workload.scenarios import SCENARIO_NAMES, get_scenario
@@ -107,12 +107,51 @@ class ExperimentConfig:
         return self.algorithm is None
 
     def baseline(self) -> "ExperimentConfig":
-        """The reference configuration this experiment is compared against."""
-        return replace(self, algorithm=None, heuristic="mct")
+        """The reference configuration this experiment is compared against.
+
+        The reallocation-only knobs (heuristic, period, threshold) are
+        normalized to their defaults: a baseline run never consults them,
+        and normalizing gives every cell of a period/threshold parameter
+        grid the *same* baseline — one simulation and one store document
+        instead of one per parameter value.
+        """
+        return replace(
+            self,
+            algorithm=None,
+            heuristic="mct",
+            reallocation_period=3600.0,
+            reallocation_threshold=60.0,
+        )
 
     def workload_key(self) -> Tuple[str, bool, float, int]:
         """Key identifying the generated trace (shared by baseline and realloc)."""
         return (self.scenario, self.heterogeneous, self.scale, self.seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation.
+
+        The dictionary is the canonical form hashed by
+        :func:`repro.store.config_key` and shipped across the campaign
+        engine's process boundary, so it contains every field that
+        influences the simulation outcome.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict` (re-validates via ``__post_init__``)."""
+        return cls(
+            scenario=data["scenario"],
+            heterogeneous=bool(data["heterogeneous"]),
+            batch_policy=data["batch_policy"],
+            algorithm=data["algorithm"],
+            heuristic=data["heuristic"],
+            scale=float(data["scale"]),
+            seed=int(data["seed"]),
+            reallocation_period=float(data["reallocation_period"]),
+            reallocation_threshold=float(data["reallocation_threshold"]),
+            mapping_policy=data["mapping_policy"],
+        )
 
     def label(self) -> str:
         """Short human-readable identifier."""

@@ -56,7 +56,8 @@ class Event:
         The :class:`EventType` tag, available to tracing hooks.
     cancelled:
         When set the kernel skips the callback; cancellation is O(1) and
-        leaves the heap untouched.
+        leaves the heap untouched (the owning kernel is notified so its
+        live-event accounting stays exact and it can compact the heap).
     """
 
     time: float
@@ -66,10 +67,20 @@ class Event:
     args: tuple[Any, ...] = field(default=(), compare=False)
     event_type: EventType = field(default=EventType.GENERIC, compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: set by the kernel when the event leaves the heap (fired or skipped)
+    popped: bool = field(default=False, compare=False)
+    #: kernel hook called exactly once on first cancellation
+    on_cancel: Callable[["Event"], None] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the kernel will skip it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel(self)
 
     def fire(self) -> None:
         """Invoke the callback (kernel-internal)."""

@@ -16,7 +16,11 @@ Design notes
   sequence counter makes insertion order the final tie-breaker, so repeated
   runs of the same scenario produce byte-identical results.
 * Cancellation is lazy: cancelled events stay in the heap and are skipped
-  when popped, which keeps cancellation O(1).
+  when popped, which keeps cancellation O(1) amortised.  The kernel keeps
+  an exact live (non-cancelled) event count, and when cancelled entries
+  exceed half of the heap it compacts the heap in one O(n) pass — so
+  cancellation-heavy models (e.g. multi-submission runs) never accumulate
+  unbounded dead entries.
 """
 
 from __future__ import annotations
@@ -31,6 +35,11 @@ from repro.sim.trace import EventTrace
 
 class SimulationError(RuntimeError):
     """Raised on invalid kernel usage (e.g. scheduling in the past)."""
+
+
+#: Heaps smaller than this are never compacted (rebuilding a tiny heap
+#: costs more than skipping its few dead entries).
+COMPACTION_MIN_HEAP = 64
 
 
 class SimulationKernel:
@@ -61,9 +70,13 @@ class SimulationKernel:
         self._sequence = 0
         self._running = False
         self._stopped = False
+        self._live = 0
+        self._cancelled_in_heap = 0
         self.trace = trace
         #: Number of events fired so far (excluding cancelled ones).
         self.fired_events = 0
+        #: Number of heap compaction passes performed so far.
+        self.compactions = 0
 
     # ------------------------------------------------------------------ #
     # Clock                                                              #
@@ -75,7 +88,12 @@ class SimulationKernel:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of live (non-cancelled) events still scheduled."""
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap size, including not-yet-collected cancelled events."""
         return len(self._heap)
 
     # ------------------------------------------------------------------ #
@@ -113,6 +131,8 @@ class SimulationKernel:
             event_type=event_type,
         )
         self._sequence += 1
+        event.on_cancel = self._note_cancelled
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -151,8 +171,11 @@ class SimulationKernel:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.popped = True
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            self._live -= 1
             self._now = event.time
             if self.trace is not None:
                 self.trace.record(event)
@@ -194,10 +217,49 @@ class SimulationKernel:
     def _peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or ``None`` if empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)
+            event.popped = True
+            self._cancelled_in_heap -= 1
         if not self._heap:
             return None
         return self._heap[0].time
 
+    def _note_cancelled(self, event: Event) -> None:
+        """Event hook: maintain live accounting and compact when worthwhile.
+
+        Events cancelled after leaving the heap (already fired or skipped)
+        do not affect the counters.
+        """
+        if event.popped:
+            return
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= COMPACTION_MIN_HEAP
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries (one O(n) pass).
+
+        The heap invariant is restored by ``heapify``; the total order of
+        events is strict (the sequence counter is unique), so compaction
+        cannot change the firing order and determinism is preserved.
+        """
+        live: list[Event] = []
+        for event in self._heap:
+            if event.cancelled:
+                event.popped = True
+            else:
+                live.append(event)
+        self._heap = live
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimulationKernel(now={self._now:.3f}, pending={len(self._heap)})"
+        return (
+            f"SimulationKernel(now={self._now:.3f}, pending={self._live}, "
+            f"heap={len(self._heap)})"
+        )

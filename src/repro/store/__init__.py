@@ -1,0 +1,32 @@
+"""Persistent, content-addressed storage for experiment results.
+
+The :class:`~repro.store.filestore.ResultStore` keeps one JSON document per
+simulated experiment on disk, keyed by a stable hash of the full
+:class:`~repro.experiments.config.ExperimentConfig`.  It lets the campaign
+engine (:mod:`repro.experiments.campaign`) and the
+:class:`~repro.experiments.runner.ExperimentRunner` skip simulations that
+were already paid for in a previous process: a warm store regenerates every
+table of the paper with zero re-simulations.
+
+* :func:`config_key` — stable content hash of a configuration.
+* :class:`ResultStore` — load/save/invalidate of run results and
+  comparison metrics, with schema versioning and corrupted-file recovery.
+* :data:`SCHEMA_VERSION` — bumped whenever the serialized layout of
+  :class:`~repro.core.results.RunResult` or
+  :class:`~repro.core.metrics.ComparisonMetrics` changes; documents
+  written under another version are treated as misses and dropped.
+"""
+
+from repro.store.filestore import (
+    SCHEMA_VERSION,
+    ResultStore,
+    StoreStats,
+    config_key,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "StoreStats",
+    "config_key",
+]

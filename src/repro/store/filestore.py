@@ -1,0 +1,238 @@
+"""On-disk result store (stdlib-JSON, content-addressed).
+
+Layout::
+
+    <root>/
+        results/<hh>/<hash>.json    one RunResult per simulated experiment
+        metrics/<hh>/<hash>.json    one ComparisonMetrics per realloc config
+
+``<hash>`` is :func:`config_key` — a SHA-256 over the canonical JSON form
+of the :class:`~repro.experiments.config.ExperimentConfig` — and ``<hh>``
+its first two hex digits (keeps directories small for large sweeps).
+
+Every document carries a schema version.  Loading a document written under
+a different version, or one that fails to parse, silently degrades to a
+cache miss: the offending file is deleted and the caller re-simulates.
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+campaign never leaves a truncated document a later run would trip over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from repro.core.metrics import ComparisonMetrics
+from repro.core.results import RunResult
+
+if TYPE_CHECKING:  # runtime import would be circular (experiments -> store)
+    from repro.experiments.config import ExperimentConfig
+
+#: Version of the on-disk document layout.  Bump when the serialized form
+#: of RunResult / ComparisonMetrics / ExperimentConfig changes; stored
+#: documents with any other version are invalidated on load.
+SCHEMA_VERSION = 1
+
+_RESULT_KIND = "run_result"
+_METRICS_KIND = "comparison_metrics"
+
+
+def config_key(config: ExperimentConfig) -> str:
+    """Stable content hash of a configuration.
+
+    The key is a SHA-256 hex digest over the canonical (sorted-key,
+    separator-free) JSON encoding of :meth:`ExperimentConfig.to_dict`, so
+    it is stable across processes, Python versions and dict orderings.
+    """
+    canonical = json.dumps(
+        config.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(slots=True)
+class StoreStats:
+    """Counters of one :class:`ResultStore` instance (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    #: documents dropped because their schema version did not match
+    version_dropped: int = 0
+    #: documents dropped because they could not be parsed
+    corrupt_dropped: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "version_dropped": self.version_dropped,
+            "corrupt_dropped": self.corrupt_dropped,
+        }
+
+
+class ResultStore:
+    """Persistent cache of experiment outcomes.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store; created on first write.
+
+    Examples
+    --------
+    >>> store = ResultStore("/tmp/repro-store")          # doctest: +SKIP
+    >>> store.put_result(config, result)                 # doctest: +SKIP
+    >>> store.get_result(config) is not None             # doctest: +SKIP
+    True
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    # Paths                                                              #
+    # ------------------------------------------------------------------ #
+    def _path(self, namespace: str, key: str) -> Path:
+        return self.root / namespace / key[:2] / f"{key}.json"
+
+    def result_path(self, config: ExperimentConfig) -> Path:
+        """File that holds (or would hold) the run result of ``config``."""
+        return self._path("results", config_key(config))
+
+    def metrics_path(self, config: ExperimentConfig) -> Path:
+        """File that holds (or would hold) the metrics of ``config``."""
+        return self._path("metrics", config_key(config))
+
+    # ------------------------------------------------------------------ #
+    # Run results                                                        #
+    # ------------------------------------------------------------------ #
+    def get_result(self, config: ExperimentConfig) -> Optional[RunResult]:
+        """Load the stored result of ``config``, or ``None`` on a miss."""
+        payload = self._load(self.result_path(config), _RESULT_KIND)
+        if payload is None:
+            return None
+        return RunResult.from_dict(payload)
+
+    def put_result(self, config: ExperimentConfig, result: RunResult) -> Path:
+        """Persist ``result`` under the key of ``config``."""
+        return self._save(self.result_path(config), _RESULT_KIND, config, result.to_dict())
+
+    # ------------------------------------------------------------------ #
+    # Comparison metrics                                                 #
+    # ------------------------------------------------------------------ #
+    def get_metrics(self, config: ExperimentConfig) -> Optional[ComparisonMetrics]:
+        """Load the stored metrics of ``config``, or ``None`` on a miss."""
+        payload = self._load(self.metrics_path(config), _METRICS_KIND)
+        if payload is None:
+            return None
+        return ComparisonMetrics.from_dict(payload)
+
+    def put_metrics(self, config: ExperimentConfig, metrics: ComparisonMetrics) -> Path:
+        """Persist ``metrics`` under the key of ``config``."""
+        return self._save(
+            self.metrics_path(config), _METRICS_KIND, config, metrics.to_dict()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Invalidation                                                       #
+    # ------------------------------------------------------------------ #
+    def invalidate(self, config: ExperimentConfig) -> int:
+        """Drop the stored result and metrics of one configuration.
+
+        Returns the number of files removed (0–2).
+        """
+        removed = 0
+        for path in (self.result_path(config), self.metrics_path(config)):
+            removed += self._drop(path)
+        return removed
+
+    def clear(self) -> None:
+        """Remove every document of the store (the root itself is kept)."""
+        for namespace in ("results", "metrics"):
+            shutil.rmtree(self.root / namespace, ignore_errors=True)
+
+    def __len__(self) -> int:
+        """Number of stored documents (results + metrics)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/??/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore(root={str(self.root)!r}, documents={len(self)})"
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                          #
+    # ------------------------------------------------------------------ #
+    def _load(self, path: Path, kind: str) -> Optional[Any]:
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            # Unreadable or truncated document: recover by dropping it.
+            self.stats.corrupt_dropped += 1
+            self.stats.misses += 1
+            self._drop(path)
+            return None
+        if not isinstance(document, dict) or "payload" not in document:
+            self.stats.corrupt_dropped += 1
+            self.stats.misses += 1
+            self._drop(path)
+            return None
+        if document.get("schema") != SCHEMA_VERSION or document.get("kind") != kind:
+            self.stats.version_dropped += 1
+            self.stats.misses += 1
+            self._drop(path)
+            return None
+        self.stats.hits += 1
+        return document["payload"]
+
+    def _save(
+        self,
+        path: Path,
+        kind: str,
+        config: ExperimentConfig,
+        payload: Dict[str, Any],
+    ) -> Path:
+        document = {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "key": path.stem,
+            "config": config.to_dict(),
+            "payload": payload,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, separators=(",", ":"), allow_nan=False)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    @staticmethod
+    def _drop(path: Path) -> int:
+        try:
+            path.unlink()
+            return 1
+        except OSError:
+            return 0

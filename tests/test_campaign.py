@@ -1,0 +1,215 @@
+"""Tests for the parallel campaign engine (:mod:`repro.experiments.campaign`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.campaign import (
+    clear_trace_cache,
+    execute_config,
+    plan_units,
+    run_campaign,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.store import ResultStore
+
+SMALL_SCALE = 0.004  # ~55 jobs for the jan scenario: fast but non-trivial
+
+
+def config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        scenario="jan",
+        batch_policy="fcfs",
+        algorithm="standard",
+        heuristic="minmin",
+        scale=SMALL_SCALE,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+class TestPlanUnits:
+    def test_baselines_added_and_deduplicated(self):
+        configs = [config(heuristic=h) for h in ("mct", "minmin", "maxmin")]
+        units = plan_units(configs)
+        # one shared baseline + three reallocation cells
+        assert len(units) == 4
+        assert units[0].is_baseline
+        assert set(units[1:]) == set(configs)
+
+    def test_requested_configs_deduplicated(self):
+        units = plan_units([config(), config()])
+        assert len(units) == 2  # baseline + the single unique config
+
+    def test_baseline_only_campaign(self):
+        baseline = config(algorithm=None, heuristic="mct")
+        assert plan_units([baseline]) == [baseline]
+
+    def test_parameter_grid_shares_one_baseline(self):
+        # baselines ignore the reallocation knobs, so a period/threshold
+        # grid must not multiply baseline simulations
+        configs = [
+            config(reallocation_period=1800.0),
+            config(reallocation_period=7200.0),
+            config(reallocation_threshold=120.0),
+        ]
+        units = plan_units(configs)
+        assert sum(1 for unit in units if unit.is_baseline) == 1
+
+    def test_distinct_policies_keep_distinct_baselines(self):
+        configs = [config(), config(batch_policy="cbf")]
+        units = plan_units(configs)
+        assert len(units) == 4
+        assert sum(1 for unit in units if unit.is_baseline) == 2
+
+
+class TestRunCampaign:
+    def test_results_cover_units_and_metrics_cover_requests(self):
+        configs = [config(heuristic=h) for h in ("mct", "minmin")]
+        campaign = run_campaign(configs)
+        assert set(campaign.metrics) == set(configs)
+        assert set(campaign.results) == set(plan_units(configs))
+        assert campaign.stats.simulated == 3
+
+    def test_known_results_skip_execution(self):
+        configs = [config()]
+        first = run_campaign(configs)
+        second = run_campaign(configs, known_results=first.results)
+        assert second.stats.simulated == 0
+        assert second.stats.memory_hits == 2
+
+    def test_store_roundtrip_skips_execution(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        configs = [config(heuristic=h) for h in ("mct", "minmin")]
+        cold = run_campaign(configs, store=store)
+        assert cold.stats.simulated == 3
+        warm = run_campaign(configs, store=store)
+        assert warm.stats.simulated == 0
+        assert warm.stats.metrics_store_hits == 2
+        for cell in configs:
+            assert warm.metrics[cell] == cold.metrics[cell]
+
+    def test_warm_metrics_never_hydrate_results(self, tmp_path):
+        # A fully-warm campaign must serve the (tiny) metrics documents
+        # without loading any (large) RunResult document.
+        store = ResultStore(tmp_path / "store")
+        configs = [config(heuristic=h) for h in ("mct", "minmin")]
+        run_campaign(configs, store=store)
+        hits_before = store.stats.hits
+        warm = run_campaign(configs, store=store)
+        assert warm.stats.store_hits == 0  # no result documents read
+        assert warm.results == {}
+        assert store.stats.hits == hits_before + len(configs)  # metrics only
+
+    def test_warm_store_still_serves_requested_baselines(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cell = config()
+        run_campaign([cell, cell.baseline()], store=store)
+        warm = run_campaign([cell, cell.baseline()], store=store)
+        assert warm.stats.simulated == 0
+        assert warm.stats.store_hits == 1  # the explicitly requested baseline
+        assert cell.baseline() in warm.results
+
+    def test_fresh_ignores_but_refreshes_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        configs = [config()]
+        run_campaign(configs, store=store)
+        refreshed = run_campaign(configs, store=store, fresh=True)
+        assert refreshed.stats.simulated == 2
+        assert refreshed.stats.store_hits == 0
+        assert refreshed.stats.metrics_store_hits == 0
+
+    def test_fresh_trusts_in_process_results(self, tmp_path):
+        # fresh distrusts the *store*, not outcomes computed this process:
+        # the baselines shared by consecutive --fresh sweeps run once.
+        store = ResultStore(tmp_path / "store")
+        configs = [config()]
+        first = run_campaign(configs, store=store, fresh=True)
+        assert first.stats.simulated == 2
+        second = run_campaign(
+            configs,
+            store=store,
+            fresh=True,
+            known_results=first.results,
+            known_metrics=first.metrics,
+        )
+        assert second.stats.simulated == 0
+        assert second.stats.store_hits == 0
+
+    def test_execute_config_matches_runner_run(self):
+        cell = config()
+        direct = execute_config(cell)
+        runner = ExperimentRunner()
+        assert runner.run(cell).to_dict() == direct.to_dict()
+
+    def test_progress_callback_sources(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        seen = []
+        configs = [config()]
+        run_campaign(
+            configs, store=store, progress=lambda c, r, source: seen.append(source)
+        )
+        assert seen == ["simulated", "simulated"]
+        # warm: metrics come straight from the store, no unit is touched
+        seen.clear()
+        run_campaign(
+            configs, store=store, progress=lambda c, r, source: seen.append(source)
+        )
+        assert seen == []
+
+
+class TestRunnerFacade:
+    def test_sweep_populates_memory_cache_from_campaign(self):
+        runner = ExperimentRunner()
+        from repro.experiments.config import SweepConfig
+
+        sweep = runner.sweep(
+            SweepConfig(
+                algorithm="standard",
+                heterogeneous=False,
+                scenarios=("jan",),
+                batch_policies=("fcfs",),
+                heuristics=("mct", "minmin"),
+                target_jobs=60,
+            )
+        )
+        assert len(sweep.metrics) == 2
+        assert runner.cached_runs == 3  # 2 realloc + 1 shared baseline
+        assert runner.simulated_runs == 3
+        # a repeated sweep is served entirely from memory
+        runner.sweep(
+            SweepConfig(
+                algorithm="standard",
+                heterogeneous=False,
+                scenarios=("jan",),
+                batch_policies=("fcfs",),
+                heuristics=("mct", "minmin"),
+                target_jobs=60,
+            )
+        )
+        assert runner.simulated_runs == 3
+
+    def test_store_backed_runner_survives_process_boundary(self, tmp_path):
+        cell = config()
+        warm_runner = ExperimentRunner(store=tmp_path / "store")
+        first = warm_runner.run(cell)
+        rehydrated = ExperimentRunner(store=tmp_path / "store")
+        second = rehydrated.run(cell)
+        assert rehydrated.simulated_runs == 0
+        assert second.to_dict() == first.to_dict()
+
+    def test_store_backed_metrics_survive(self, tmp_path):
+        cell = config()
+        ExperimentRunner(store=tmp_path / "store").metrics(cell)
+        rehydrated = ExperimentRunner(store=tmp_path / "store")
+        metrics = rehydrated.metrics(cell)
+        assert rehydrated.simulated_runs == 0
+        assert 0.0 <= metrics.pct_impacted <= 100.0

@@ -182,6 +182,68 @@ class TestCancellationAndStop:
             kernel.run()
 
 
+class TestLiveCountAndCompaction:
+    def test_pending_events_excludes_cancelled(self, kernel):
+        events = [kernel.schedule_at(float(t), lambda: None) for t in range(10)]
+        assert kernel.pending_events == 10
+        for event in events[:4]:
+            event.cancel()
+        assert kernel.pending_events == 6
+        assert kernel.heap_size >= 6
+
+    def test_double_cancel_counts_once(self, kernel):
+        event = kernel.schedule_at(1.0, lambda: None)
+        kernel.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert kernel.pending_events == 1
+
+    def test_cancel_after_fire_does_not_corrupt_count(self, kernel):
+        event = kernel.schedule_at(1.0, lambda: None)
+        kernel.run()
+        assert kernel.pending_events == 0
+        event.cancel()
+        assert kernel.pending_events == 0
+
+    def test_pending_events_decreases_as_events_fire(self, kernel):
+        for t in range(3):
+            kernel.schedule_at(float(t), lambda: None)
+        kernel.step()
+        assert kernel.pending_events == 2
+        kernel.run()
+        assert kernel.pending_events == 0
+
+    def test_heap_compacts_when_mostly_cancelled(self, kernel):
+        events = [kernel.schedule_at(float(t), lambda: None) for t in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        assert kernel.compactions >= 1
+        assert kernel.pending_events == 50
+        # the cancelled fraction of the heap is kept at or below one half
+        assert kernel.heap_size <= 2 * kernel.pending_events
+
+    def test_small_heaps_are_not_compacted(self, kernel):
+        events = [kernel.schedule_at(float(t), lambda: None) for t in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        assert kernel.compactions == 0
+        assert kernel.pending_events == 1
+
+    def test_compaction_preserves_firing_order(self, kernel):
+        fired = []
+        events = {}
+        for t in range(200):
+            events[t] = kernel.schedule_at(float(t), fired.append, t)
+        survivors = sorted({0, 42, 77, 150, 199})
+        for t, event in events.items():
+            if t not in survivors:
+                event.cancel()
+        assert kernel.compactions >= 1
+        kernel.run()
+        assert fired == survivors
+        assert kernel.fired_events == len(survivors)
+
+
 class TestTraceIntegration:
     def test_trace_records_fired_events(self):
         trace = EventTrace()

@@ -1,0 +1,202 @@
+"""Tests for the persistent result store (:mod:`repro.store`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.job import JobState
+from repro.core.metrics import ComparisonMetrics
+from repro.core.results import JobRecord, RunResult
+from repro.experiments.config import ExperimentConfig
+from repro.store import SCHEMA_VERSION, ResultStore, config_key
+
+
+def make_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        scenario="jan",
+        batch_policy="fcfs",
+        algorithm="standard",
+        heuristic="minmin",
+        scale=0.004,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def make_result() -> RunResult:
+    records = {
+        1: JobRecord(
+            job_id=1, submit_time=0.0, procs=2, runtime=50.0, walltime=100.0,
+            origin_site="lyon", final_cluster="alpha", start_time=1.0,
+            completion_time=51.0, state=JobState.COMPLETED, killed=False,
+            reallocation_count=1,
+        ),
+        2: JobRecord(
+            job_id=2, submit_time=5.0, procs=1, runtime=10.0, walltime=20.0,
+            origin_site=None, final_cluster=None, start_time=None,
+            completion_time=None, state=JobState.REJECTED, killed=False,
+            reallocation_count=0,
+        ),
+    }
+    return RunResult(
+        label="test/run", records=records, total_reallocations=1,
+        reallocation_events=3, makespan=51.0,
+        metadata={"scenario": "jan", "scale": 0.004, "n_jobs": 2},
+    )
+
+
+def make_metrics() -> ComparisonMetrics:
+    return ComparisonMetrics(
+        compared_jobs=50, impacted_jobs=10, pct_impacted=20.0, reallocations=7,
+        earlier_jobs=6, pct_earlier=60.0, relative_response_time=0.93,
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+class TestConfigKey:
+    def test_stable_across_instances(self):
+        assert config_key(make_config()) == config_key(make_config())
+
+    def test_differs_per_field(self):
+        base = config_key(make_config())
+        assert config_key(make_config(heuristic="mct")) != base
+        assert config_key(make_config(seed=1)) != base
+        assert config_key(make_config(algorithm=None, heuristic="mct")) != base
+        assert config_key(make_config(heterogeneous=True)) != base
+
+    def test_key_is_hex_sha256(self):
+        key = config_key(make_config())
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+
+class TestSerializationRoundTrip:
+    def test_run_result_round_trip(self):
+        result = make_result()
+        clone = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone.to_dict() == result.to_dict()
+        assert clone.label == result.label
+        assert clone.makespan == result.makespan
+        assert clone.records[1].state is JobState.COMPLETED
+        assert clone.records[2].completion_time is None
+        assert clone.metadata == result.metadata
+
+    def test_metrics_round_trip(self):
+        metrics = make_metrics()
+        clone = ComparisonMetrics.from_dict(json.loads(json.dumps(metrics.to_dict())))
+        assert clone == metrics
+
+    def test_config_round_trip(self):
+        config = make_config()
+        clone = ExperimentConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert clone == config
+
+    def test_baseline_config_round_trip(self):
+        config = make_config().baseline()
+        clone = ExperimentConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert clone == config
+        assert clone.is_baseline
+
+
+class TestCacheHitMiss:
+    def test_miss_on_empty_store(self, store):
+        assert store.get_result(make_config()) is None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+
+    def test_hit_after_put(self, store):
+        config, result = make_config(), make_result()
+        store.put_result(config, result)
+        loaded = store.get_result(config)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+        assert store.stats.hits == 1
+        assert store.stats.writes == 1
+
+    def test_different_config_still_misses(self, store):
+        store.put_result(make_config(), make_result())
+        assert store.get_result(make_config(heuristic="mct")) is None
+
+    def test_metrics_hit_after_put(self, store):
+        config, metrics = make_config(), make_metrics()
+        store.put_metrics(config, metrics)
+        assert store.get_metrics(config) == metrics
+
+    def test_len_counts_documents(self, store):
+        assert len(store) == 0
+        store.put_result(make_config(), make_result())
+        store.put_metrics(make_config(), make_metrics())
+        assert len(store) == 2
+
+    def test_invalidate_drops_both_documents(self, store):
+        config = make_config()
+        store.put_result(config, make_result())
+        store.put_metrics(config, make_metrics())
+        assert store.invalidate(config) == 2
+        assert store.get_result(config) is None
+        assert len(store) == 0
+
+    def test_clear_empties_store(self, store):
+        store.put_result(make_config(), make_result())
+        store.put_metrics(make_config(), make_metrics())
+        store.clear()
+        assert len(store) == 0
+
+
+class TestSchemaVersioning:
+    def test_version_mismatch_invalidates(self, store):
+        config = make_config()
+        path = store.put_result(config, make_result())
+        document = json.loads(path.read_text())
+        document["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document))
+        assert store.get_result(config) is None
+        assert store.stats.version_dropped == 1
+        assert not path.exists()  # stale document was dropped
+
+    def test_kind_mismatch_invalidates(self, store):
+        config = make_config()
+        path = store.put_result(config, make_result())
+        document = json.loads(path.read_text())
+        document["kind"] = "something_else"
+        path.write_text(json.dumps(document))
+        assert store.get_result(config) is None
+        assert not path.exists()
+
+    def test_rewrite_after_invalidation_works(self, store):
+        config = make_config()
+        path = store.put_result(config, make_result())
+        path.write_text("{}")
+        assert store.get_result(config) is None
+        store.put_result(config, make_result())
+        assert store.get_result(config) is not None
+
+
+class TestCorruptedFileRecovery:
+    def test_truncated_json_recovers(self, store):
+        config = make_config()
+        path = store.put_result(config, make_result())
+        path.write_text(path.read_text()[: 40])
+        assert store.get_result(config) is None
+        assert store.stats.corrupt_dropped == 1
+        assert not path.exists()
+
+    def test_non_object_document_recovers(self, store):
+        config = make_config()
+        path = store.put_result(config, make_result())
+        path.write_text("[1, 2, 3]")
+        assert store.get_result(config) is None
+        assert store.stats.corrupt_dropped == 1
+
+    def test_empty_file_recovers(self, store):
+        config = make_config()
+        path = store.put_result(config, make_result())
+        path.write_text("")
+        assert store.get_result(config) is None
+        assert not path.exists()
