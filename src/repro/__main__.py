@@ -18,6 +18,15 @@ Usage (installed entry point ``repro`` or ``python -m repro``)::
     python -m repro figures
     python -m repro summary
 
+    # Full-trace scaling preset: re-simulate the selected sweeps at the
+    # paper's full trace volume for several worker counts and print the
+    # wall-clock per count
+    python -m repro campaign run --preset full-trace --worker-counts 1 4 8
+
+    # Drop store documents that belong to no configuration of a campaign
+    # (--target-jobs must match the value the campaign was run with)
+    python -m repro store gc --campaign paper --target-jobs 300
+
 The result store defaults to ``.repro-store`` in the current directory
 (override with ``--store DIR`` or the ``REPRO_STORE`` environment
 variable; disable persistence with ``--no-store``).  ``--fresh`` ignores
@@ -32,7 +41,12 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.config import DEFAULT_BENCH_TARGET_JOBS, SweepConfig
+from repro.experiments.campaign import CAMPAIGN_NAMES, campaign_configs
+from repro.experiments.config import (
+    DEFAULT_BENCH_TARGET_JOBS,
+    SweepConfig,
+    full_trace_target_jobs,
+)
 from repro.experiments.figures import figure1_example, figure2_side_effects
 from repro.experiments.report import (
     render_comparison,
@@ -47,7 +61,7 @@ from repro.experiments.tables import (
     comparison_summary,
     table_workload,
 )
-from repro.store import ResultStore
+from repro.store import ResultStore, config_key
 
 #: table number -> (metric, algorithm, heterogeneous)
 TABLE_SPECS = {number: spec for spec, number in TABLE_NUMBERS.items()}
@@ -60,9 +74,10 @@ _PLATFORMS = {"homogeneous": (False,), "heterogeneous": (True,),
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--target-jobs", type=int, default=DEFAULT_BENCH_TARGET_JOBS, metavar="N",
-        help="approximate jobs per scenario (default %(default)s; the paper "
-             "replays up to 133135 jobs)")
+        "--target-jobs", type=int, default=None, metavar="N",
+        help="approximate jobs per scenario (default "
+             f"{DEFAULT_BENCH_TARGET_JOBS}; the full-trace preset defaults "
+             "to the whole trace, up to the paper's 133135 jobs)")
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="run simulations on N worker processes (default: serial)")
@@ -98,7 +113,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reallocation algorithm(s) to sweep (default both)")
     run.add_argument("--platform", choices=sorted(_PLATFORMS), default="both",
                      help="platform flavour(s) to sweep (default both)")
+    run.add_argument("--preset", choices=("full-trace",), default=None,
+                     help="named campaign preset: 'full-trace' re-simulates "
+                          "the selected sweeps at the paper's full trace "
+                          "volume once per worker count and reports the "
+                          "wall-clock of each")
+    run.add_argument("--worker-counts", type=int, nargs="+", default=None,
+                     metavar="N", help="worker counts swept by the full-trace "
+                     "preset (default: powers of two up to the CPU count)")
     _add_common_options(run)
+
+    store = commands.add_parser(
+        "store", help="manage the persistent result store",
+        description="Inspect and garbage-collect the result store.")
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    gc = store_commands.add_parser(
+        "gc", help="drop documents not belonging to a campaign",
+        description="Remove every store document whose configuration is not "
+                    "a unit of the given campaign (baselines included). "
+                    "--target-jobs is required and must match the value the "
+                    "campaign was run with: it determines the config keys.")
+    gc.add_argument("--campaign", required=True, choices=CAMPAIGN_NAMES,
+                    help="campaign whose documents are kept")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="only report what would be removed")
+    _add_common_options(gc)
 
     tables = commands.add_parser(
         "tables", help="regenerate tables of the paper",
@@ -121,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _target_jobs(args: argparse.Namespace) -> int:
+    return args.target_jobs if args.target_jobs is not None else DEFAULT_BENCH_TARGET_JOBS
+
+
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     store = None
     if not args.no_store:
@@ -139,7 +182,7 @@ def _sweep(runner: ExperimentRunner, args: argparse.Namespace,
     if key not in cache:
         cache[key] = runner.sweep(
             SweepConfig(algorithm=algorithm, heterogeneous=heterogeneous,
-                        target_jobs=args.target_jobs),
+                        target_jobs=_target_jobs(args)),
             fresh=args.fresh,
         )
     return cache[key]
@@ -155,6 +198,8 @@ def _print_stats(runner: ExperimentRunner, elapsed: float) -> None:
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    if args.preset == "full-trace":
+        return _cmd_full_trace_preset(args)
     runner = _make_runner(args)
     started = time.perf_counter()
     cache: Dict[Tuple[str, bool], SweepResult] = {}
@@ -167,6 +212,89 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_worker_counts() -> List[int]:
+    """Powers of two from 1 up to the machine's CPU count."""
+    cpus = os.cpu_count() or 1
+    counts = [1]
+    while counts[-1] * 2 <= cpus:
+        counts.append(counts[-1] * 2)
+    return counts
+
+
+def _cmd_full_trace_preset(args: argparse.Namespace) -> int:
+    """Scaling sweep: re-simulate the selected sweeps once per worker count.
+
+    Every worker count starts from a fresh runner and distrusts the store
+    (``fresh``), so each measurement pays the full simulation cost and the
+    wall-clock numbers are comparable.  The store (when enabled) ends up
+    warm for subsequent ``tables``/``summary`` calls.
+    """
+    target = args.target_jobs if args.target_jobs is not None else full_trace_target_jobs()
+    if args.workers is not None and args.worker_counts is not None:
+        raise SystemExit(
+            "repro: error: --workers and --worker-counts are mutually "
+            "exclusive with --preset full-trace"
+        )
+    if args.worker_counts is not None:
+        counts = args.worker_counts
+    elif args.workers is not None:
+        counts = [args.workers]
+    else:
+        counts = _default_worker_counts()
+    if any(count <= 0 for count in counts):
+        raise SystemExit("repro: error: worker counts must be positive")
+    groups = [(algorithm, heterogeneous)
+              for algorithm in _ALGORITHMS[args.algorithm]
+              for heterogeneous in _PLATFORMS[args.platform]]
+    print(f"full-trace preset: {target} jobs/scenario, {len(groups)} sweep group(s), "
+          f"worker counts {counts}")
+    timings: List[Tuple[int, float]] = []
+    for count in counts:
+        runner = _make_runner(args)
+        runner.workers = count if count > 1 else None
+        started = time.perf_counter()
+        cells = 0
+        for algorithm, heterogeneous in groups:
+            sweep = runner.sweep(
+                SweepConfig(algorithm=algorithm, heterogeneous=heterogeneous,
+                            target_jobs=target),
+                fresh=True,
+            )
+            cells += len(sweep.metrics)
+        elapsed = time.perf_counter() - started
+        timings.append((count, elapsed))
+        print(f"workers={count}: {elapsed:.1f}s wall-clock "
+              f"({runner.simulated_runs} simulated, {cells} cells)")
+    best_count, best_elapsed = min(timings, key=lambda pair: pair[1])
+    print(f"best: workers={best_count} at {best_elapsed:.1f}s")
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    if args.no_store:
+        raise SystemExit("repro: error: store gc needs a store (drop --no-store)")
+    if args.target_jobs is None:
+        # Config keys include the per-scenario scale derived from
+        # --target-jobs, so a defaulted value would silently classify every
+        # document produced at another volume (e.g. a full-trace campaign)
+        # as garbage.  Make the coupling explicit.
+        raise SystemExit(
+            "repro: error: store gc requires --target-jobs N matching the "
+            "value the campaign was run with (the full-trace preset uses "
+            f"{full_trace_target_jobs()}); use --dry-run to preview"
+        )
+    if not os.path.isdir(args.store):
+        raise SystemExit(f"repro: error: store directory {args.store!r} does not exist")
+    store = ResultStore(args.store)
+    configs = campaign_configs(args.campaign, target_jobs=args.target_jobs)
+    keep_keys = {config_key(config) for config in configs}
+    kept, removed = store.gc(keep_keys, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"store gc ({args.campaign}, {args.target_jobs} jobs/scenario): "
+          f"{kept} documents kept, {removed} {verb} (store: {store.root})")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     numbers: List[int] = sorted(set(args.table)) if args.table else list(range(1, 18))
     runner = _make_runner(args)
@@ -174,7 +302,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     cache: Dict[Tuple[str, bool], SweepResult] = {}
     for number in numbers:
         if number == 1:
-            print(render_table(table_workload(target_jobs=args.target_jobs), decimals=0))
+            print(render_table(table_workload(target_jobs=_target_jobs(args)), decimals=0))
         else:
             metric, algorithm, heterogeneous = TABLE_SPECS[number]
             sweep = _sweep(runner, args, algorithm, heterogeneous, cache)
@@ -212,6 +340,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "campaign":
             return _cmd_campaign_run(args)
+        if args.command == "store":
+            return _cmd_store_gc(args)
         if args.command == "tables":
             return _cmd_tables(args)
         if args.command == "figures":

@@ -23,13 +23,16 @@ from repro.batch.cluster import ClusterState, RunningJob
 from repro.batch.job import Job, JobState
 from repro.batch.policies import (
     BatchPolicy,
+    IncrementalPlanner,
     PlanningPolicy,
     get_policy,
     plan_cbf,
+    plan_cbf_reference,
     plan_fcfs,
+    plan_fcfs_reference,
 )
 from repro.batch.profile import AvailabilityProfile, ProfileError
-from repro.batch.schedule import ClusterPlan, PlannedJob
+from repro.batch.schedule import ClusterPlan, IncrementalPlan, PlannedJob
 from repro.batch.server import BatchServer, BatchServerError
 
 __all__ = [
@@ -39,6 +42,8 @@ __all__ = [
     "BatchServerError",
     "ClusterPlan",
     "ClusterState",
+    "IncrementalPlan",
+    "IncrementalPlanner",
     "Job",
     "JobState",
     "PlannedJob",
@@ -47,5 +52,7 @@ __all__ = [
     "RunningJob",
     "get_policy",
     "plan_cbf",
+    "plan_cbf_reference",
     "plan_fcfs",
+    "plan_fcfs_reference",
 ]

@@ -4,12 +4,20 @@
 currently running on it.  It knows nothing about queues or policies; the
 :class:`~repro.batch.server.BatchServer` combines it with a waiting queue
 and a planning policy.
+
+The cluster also owns the *live* availability profile of its running set:
+:meth:`ClusterState.start_job` reserves the job's walltime window in the
+profile, :meth:`ClusterState.finish_job` releases the unused tail of the
+window when a job completes early, and :meth:`ClusterState.availability`
+advances the profile to the current time — no per-event reconstruction.
+:meth:`ClusterState.build_profile` keeps the historical from-scratch
+construction as the reference implementation for the differential oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 from repro.batch.job import Job
 from repro.batch.profile import AvailabilityProfile
@@ -57,6 +65,9 @@ class ClusterState:
         self.total_procs = int(total_procs)
         self.speed = float(speed)
         self._running: Dict[int, RunningJob] = {}
+        # Live availability profile of the running set, updated in place by
+        # start_job/finish_job and advanced lazily by availability().
+        self._profile = AvailabilityProfile(self.total_procs, start_time=0.0)
 
     # ------------------------------------------------------------------ #
     # Running set                                                        #
@@ -106,14 +117,27 @@ class ClusterState:
             walltime_end=start_time + job.walltime_on(self.speed),
         )
         self._running[job.job_id] = entry
+        self._profile.subtract(start_time, entry.walltime_end, job.procs)
         return entry
 
-    def finish_job(self, job_id: int) -> RunningJob:
-        """Remove a running job (normal completion or walltime kill)."""
+    def finish_job(self, job_id: int, now: Optional[float] = None) -> RunningJob:
+        """Remove a running job (normal completion or walltime kill).
+
+        ``now`` is the completion time; when the job finishes before its
+        walltime end the unused tail ``[now, walltime_end)`` of its
+        reservation is released from the live profile.  Without ``now``
+        the entire remaining reservation is released, so the profile stays
+        consistent with :attr:`free_procs` for callers that drive the
+        cluster directly.
+        """
         try:
-            return self._running.pop(job_id)
+            entry = self._running.pop(job_id)
         except KeyError as exc:
             raise ValueError(f"job {job_id} is not running on {self.name}") from exc
+        released_from = entry.start_time if now is None else now
+        if released_from < entry.walltime_end:
+            self._profile.release(released_from, entry.walltime_end, entry.procs)
+        return entry
 
     def fits(self, job: Job) -> bool:
         """True if the job's processor request does not exceed the cluster size."""
@@ -122,11 +146,26 @@ class ClusterState:
     # ------------------------------------------------------------------ #
     # Profiles                                                           #
     # ------------------------------------------------------------------ #
+    def availability(self, now: float) -> AvailabilityProfile:
+        """Live availability profile advanced to ``now`` (returned as a copy).
+
+        The live profile is maintained incrementally by
+        :meth:`start_job`/:meth:`finish_job`; this accessor only drops
+        breakpoints that fell into the past.  As a step function over
+        ``[now, inf)`` the result is identical to :meth:`build_profile`,
+        without the per-call reconstruction from the running set.
+        """
+        self._profile.advance(now)
+        return self._profile.copy()
+
     def build_profile(self, now: float) -> AvailabilityProfile:
-        """Availability profile from ``now`` given the running jobs.
+        """Availability profile from ``now``, rebuilt from the running set.
 
         The occupation of each running job extends to its *walltime* end,
         which is all the scheduler knows before the job actually finishes.
+        This is the from-scratch reference construction; the scheduling hot
+        path uses :meth:`availability` instead, and the differential
+        property suite asserts the two stay equal.
         """
         profile = AvailabilityProfile(self.total_procs, start_time=now)
         for entry in self._running.values():

@@ -13,20 +13,29 @@ earlier-queued job.  The difference is where the reservation may be placed:
   (i.e. the earlier-queued jobs) are untouched.  Available in Maui,
   LoadLeveler and OAR.
 
-Planning is a pure function from ``(profile, queue, speed, now)`` to a
-:class:`~repro.batch.schedule.ClusterPlan`; the caller passes a *copy* of
-the live profile when the result must not affect the cluster state.
+Planning comes in two equivalent flavours:
+
+* the *reference* planners :func:`plan_fcfs` / :func:`plan_cbf` (also
+  exported as :data:`plan_fcfs_reference` / :data:`plan_cbf_reference`) —
+  pure functions from ``(profile, queue, speed, now)`` to a
+  :class:`~repro.batch.schedule.ClusterPlan`, rebuilding the whole plan;
+* the :class:`IncrementalPlanner` — the event-driven engine used by the
+  :class:`~repro.batch.server.BatchServer`, which maintains the *same*
+  plan across submit/cancel/start/completion events by editing only the
+  affected queue suffix.  The differential property suite asserts the two
+  flavours agree on randomized event sequences.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from typing import Callable, Iterable, Protocol, Sequence
+from typing import Callable, Iterable, List, Protocol, Sequence
 
+from repro.batch.cluster import ClusterState
 from repro.batch.job import Job
 from repro.batch.profile import AvailabilityProfile
-from repro.batch.schedule import ClusterPlan, PlannedJob
+from repro.batch.schedule import ClusterPlan, IncrementalPlan, PlannedJob
 
 
 class BatchPolicy(enum.Enum):
@@ -117,10 +126,166 @@ def plan_cbf(
     return _plan(profile, queue, speed, now, cluster_name, keep_queue_order=False)
 
 
+#: From-scratch planners kept under explicit names: they are the oracle the
+#: incremental engine is differentially tested against, and the "before"
+#: side of the scheduler microbenchmark.
+plan_fcfs_reference = plan_fcfs
+plan_cbf_reference = plan_cbf
+
+
 _POLICIES: dict[BatchPolicy, PlanningPolicy] = {
     BatchPolicy.FCFS: plan_fcfs,
     BatchPolicy.CBF: plan_cbf,
 }
+
+
+class IncrementalPlanner:
+    """Event-driven planner producing the reference plans at suffix cost.
+
+    One planner serves both policies: FCFS is CBF plus the queue-order
+    constraint (``keep_queue_order``), exactly as in :func:`_plan`.  The
+    planner owns the waiting queue (``jobs``) and an
+    :class:`~repro.batch.schedule.IncrementalPlan` and keeps, between any
+    two events, the invariant that its entries are byte-identical to what
+    ``plan_fcfs``/``plan_cbf`` would compute from scratch over
+    ``(cluster.build_profile(now), jobs, speed, now)``.
+
+    Per-event cost:
+
+    * ``submit`` — one placement at the tail (the residual already ends
+      where the reference planner would look);
+    * ``cancel`` at queue position ``k`` — restore + re-place positions
+      ``k..end`` only;
+    * ``job_started`` — free: the started job ran at its planned slot, so
+      its reservation simply moves from the plan to the running set;
+    * ``job_finished`` at the walltime boundary — free: the availability
+      from ``now`` on is unchanged;
+    * ``job_finished`` early — the only full replan: processors were
+      returned at an unpredicted time, which can improve every placement.
+    """
+
+    __slots__ = ("policy", "keep_queue_order", "cluster", "speed", "jobs", "plan")
+
+    def __init__(self, policy: BatchPolicy, cluster: ClusterState) -> None:
+        self.policy = policy
+        self.keep_queue_order = policy is BatchPolicy.FCFS
+        self.cluster = cluster
+        self.speed = cluster.speed
+        self.jobs: List[Job] = []
+        self.plan = IncrementalPlan(cluster.name, cluster.availability(0.0), 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+    @property
+    def residual(self) -> AvailabilityProfile:
+        """Residual profile after every planned reservation (do not mutate)."""
+        return self.plan.residual
+
+    def cluster_plan(self) -> ClusterPlan:
+        """Current plan of the waiting queue as a :class:`ClusterPlan`."""
+        return self.plan.as_cluster_plan()
+
+    def frontier(self) -> float:
+        """FCFS frontier: earliest start allowed for a job appended now."""
+        return self.plan.frontier()
+
+    def index_of(self, job_id: int) -> int:
+        """Queue position of ``job_id`` or -1 when it is not waiting here."""
+        for index, job in enumerate(self.jobs):
+            if job.job_id == job_id:
+                return index
+        return -1
+
+    # ------------------------------------------------------------------ #
+    # Events                                                             #
+    # ------------------------------------------------------------------ #
+    def advance(self, now: float) -> None:
+        """Move to ``now``; previously planned starts stay valid.
+
+        Between two events nothing changes, and a pure time advance cannot
+        shift a reservation: the profile over ``[now, inf)`` is untouched
+        and every planned start is at or after ``now`` (jobs planned to
+        start earlier were started by the pass at their slot).  The stale
+        guard rebuilds from scratch if that invariant is ever violated.
+        """
+        plan = self.plan
+        if now == plan.now:
+            return
+        stale = any(entry.planned_start < now for entry in plan.entries)
+        plan.advance(now)
+        if stale:  # pragma: no cover - defensive, violates the invariant
+            self.replan_all(now)
+
+    def submit(self, job: Job, now: float) -> None:
+        """Append ``job`` to the queue and place it at the tail."""
+        self.advance(now)
+        self.jobs.append(job)
+        self._extend(len(self.jobs) - 1)
+
+    def cancel(self, index: int, now: float) -> None:
+        """Remove the job at queue position ``index``; replan the suffix."""
+        self.advance(now)
+        del self.jobs[index]
+        self.plan.restore_suffix(index)
+        self._extend(index)
+
+    def job_started(self, job: Job, now: float) -> None:
+        """A waiting job started; call *after* ``cluster.start_job``.
+
+        When the job starts exactly at its planned slot (the only way the
+        server starts jobs) the residual is already correct.  Any other
+        start would break the invariant, so it falls back to a full replan
+        against the cluster's live profile, which includes the new running
+        reservation either way.
+        """
+        self.advance(now)
+        index = self.index_of(job.job_id)
+        if index < 0:  # pragma: no cover - server guarantees membership
+            raise ValueError(f"job {job.job_id} is not planned on {self.cluster.name}")
+        entry = self.plan.entries[index]
+        del self.jobs[index]
+        if entry.planned_start == now and entry.planned_end == now + job.walltime_on(self.speed):
+            self.plan.remove_started(index)
+        else:  # pragma: no cover - defensive, violates the invariant
+            self.replan_all(now)
+
+    def job_finished(self, now: float, walltime_end: float) -> None:
+        """A running job finished; call *after* ``cluster.finish_job``.
+
+        A completion at the walltime boundary changes nothing from ``now``
+        on.  An early completion released processors the plan did not know
+        about, which is the one event that can improve every waiting job's
+        placement — replan the whole queue from the live base profile.
+        """
+        if walltime_end > now:
+            self.replan_all(now)
+        else:
+            self.advance(now)
+
+    def replan_all(self, now: float) -> None:
+        """Rebuild the plan from the cluster's live availability profile."""
+        self.plan.reset(self.cluster.availability(now), now)
+        self._extend(0)
+
+    def _extend(self, start_index: int) -> None:
+        """Place ``jobs[start_index:]`` (entries currently end at ``start_index``)."""
+        plan = self.plan
+        now = plan.now
+        keep_queue_order = self.keep_queue_order
+        frontier = plan.frontier() if keep_queue_order else now
+        speed = self.speed
+        for job in self.jobs[start_index:]:
+            duration = job.walltime_on(speed)
+            entry = plan.place(job.job_id, job.procs, duration, frontier if keep_queue_order else now)
+            if keep_queue_order and math.isfinite(entry.planned_start):
+                frontier = entry.planned_start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IncrementalPlanner({self.cluster.name}, {self.policy}, "
+            f"{len(self.jobs)} waiting)"
+        )
 
 
 def get_policy(policy: "BatchPolicy | str") -> PlanningPolicy:

@@ -7,9 +7,16 @@ profile: *find the earliest interval of length d during which at least p
 processors are free*, then subtract ``p`` processors over that interval.
 
 The profile is a sorted list of breakpoints ``(time, free)``; the last
-breakpoint extends to infinity.  All planning in :mod:`repro.batch.policies`
-works on copies of the live profile, so estimation queries never mutate the
-scheduler state.
+breakpoint extends to infinity.  Profiles support two usage styles:
+
+* *throw-away* profiles built per planning pass (the historical style,
+  still used by the reference planners and the differential oracle);
+* *live* profiles owned by :class:`~repro.batch.cluster.ClusterState` and
+  the incremental planner, updated in place as jobs start and finish:
+  :meth:`AvailabilityProfile.advance` drops past breakpoints when
+  simulated time moves forward, :meth:`AvailabilityProfile.release` gives
+  processors back (clamped to the live left edge, coalescing redundant
+  breakpoints) and :meth:`AvailabilityProfile.reserve` takes them.
 """
 
 from __future__ import annotations
@@ -107,10 +114,11 @@ class AvailabilityProfile:
             raise ValueError(f"procs must be positive, got {procs}")
         if end <= start:
             raise ValueError(f"empty interval [{start}, {end})")
-        if self.min_free_over(start, end) < procs:
+        lowest = self.min_free_over(start, end)
+        if lowest < procs:
             raise ProfileError(
                 f"cannot reserve {procs} procs over [{start}, {end}): "
-                f"only {self.min_free_over(start, end)} free"
+                f"only {lowest} free"
             )
         i_start = self._ensure_breakpoint(start)
         i_end = self._ensure_breakpoint(end) if math.isfinite(end) else len(self._times)
@@ -135,10 +143,79 @@ class AvailabilityProfile:
             self._free[i] = new_value
 
     # ------------------------------------------------------------------ #
+    # Live-profile maintenance                                           #
+    # ------------------------------------------------------------------ #
+    def advance(self, now: float) -> None:
+        """Move the left edge of the profile forward to ``now``.
+
+        Breakpoints strictly in the past are dropped; the first remaining
+        segment is clamped to start at ``now``.  The profile is unchanged
+        as a function over ``[now, inf)``, so planning queries with
+        ``earliest >= now`` are unaffected — this is what lets a live
+        profile be reused across events instead of being rebuilt.
+        """
+        times = self._times
+        if now <= times[0]:
+            return
+        idx = bisect_right(times, now) - 1
+        if idx > 0:
+            del times[:idx]
+            del self._free[:idx]
+        times[0] = now
+        if len(times) > 1 and self._free[1] == self._free[0]:
+            del times[1]
+            del self._free[1]
+
+    def release(self, start: float, end: float, procs: int) -> None:
+        """Give ``procs`` processors back over ``[start, end)`` on a live profile.
+
+        Unlike :meth:`add`, the interval is clamped to the current left
+        edge (releasing a reservation whose start has already been
+        advanced past is fine) and becomes a no-op when the clamped
+        interval is empty.  Redundant breakpoints left by the release are
+        coalesced so a long-lived profile stays small.
+        """
+        if procs <= 0:
+            raise ValueError(f"procs must be positive, got {procs}")
+        start = max(start, self._times[0])
+        if end <= start:
+            return
+        self.add(start, end, procs)
+        self.compact()
+
+    def compact(self) -> None:
+        """Drop redundant breakpoints (equal free count on both sides).
+
+        The profile is unchanged as a step function; only its
+        representation shrinks.  Called by the live-profile mutators so
+        repeated reserve/release cycles do not grow the breakpoint list
+        without bound.
+        """
+        times = self._times
+        free = self._free
+        if len(times) < 2:
+            return
+        keep_times = [times[0]]
+        keep_free = [free[0]]
+        for idx in range(1, len(times)):
+            if free[idx] != keep_free[-1]:
+                keep_times.append(times[idx])
+                keep_free.append(free[idx])
+        if len(keep_times) != len(times):
+            self._times = keep_times
+            self._free = keep_free
+
+    # ------------------------------------------------------------------ #
     # Planning queries                                                   #
     # ------------------------------------------------------------------ #
     def earliest_slot(self, procs: int, duration: float, earliest: float) -> float:
         """Earliest ``t >= earliest`` with ``procs`` free during ``[t, t+duration)``.
+
+        The search enters the breakpoint list by binary search at
+        ``earliest`` and, whenever a segment blocks the current candidate,
+        restarts directly after the blocking segment — the list is never
+        rescanned from the beginning, so a call costs O(log B + segments
+        actually visited).
 
         Returns ``math.inf`` when the request can never be satisfied (more
         processors than the cluster owns).
@@ -147,18 +224,21 @@ class AvailabilityProfile:
             return math.inf
         if procs <= 0:
             raise ValueError(f"procs must be positive, got {procs}")
-        earliest = max(earliest, self._times[0])
+        times = self._times
+        free = self._free
+        count = len(times)
+        earliest = max(earliest, times[0])
         if duration <= 0:
             # A zero-length reservation only needs an instant with enough
             # free processors.
-            idx = bisect_right(self._times, earliest) - 1
-            while idx < len(self._times):
-                if self._free[idx] >= procs:
-                    return max(earliest, self._times[idx])
+            idx = bisect_right(times, earliest) - 1
+            while idx < count:
+                if free[idx] >= procs:
+                    return max(earliest, times[idx])
                 idx += 1
             return math.inf
 
-        idx = bisect_right(self._times, earliest) - 1
+        idx = bisect_right(times, earliest) - 1
         candidate = earliest
         while True:
             # Scan forward from `candidate` checking that every segment that
@@ -166,15 +246,15 @@ class AvailabilityProfile:
             end_needed = candidate + duration
             scan = idx
             ok = True
-            while scan < len(self._times):
-                seg_start = self._times[scan]
-                seg_end = self._times[scan + 1] if scan + 1 < len(self._times) else math.inf
+            while scan < count:
+                seg_start = times[scan]
+                seg_end = times[scan + 1] if scan + 1 < count else math.inf
                 if seg_end <= candidate:
                     scan += 1
                     continue
                 if seg_start >= end_needed:
                     break
-                if self._free[scan] < procs:
+                if free[scan] < procs:
                     ok = False
                     # Restart the search at the end of the blocking segment.
                     candidate = seg_end
@@ -183,7 +263,7 @@ class AvailabilityProfile:
                 scan += 1
             if ok:
                 return candidate
-            if idx >= len(self._times):
+            if idx >= count:
                 # Blocking segment was the final (infinite) one.
                 return math.inf
 
@@ -214,9 +294,16 @@ class AvailabilityProfile:
         start_time: float,
         reservations: Iterable[Tuple[float, float, int]],
     ) -> "AvailabilityProfile":
-        """Build a profile from ``(start, end, procs)`` reservations."""
+        """Build a profile from ``(start, end, procs)`` reservations.
+
+        Reservations that end at or before ``start_time`` lie entirely in
+        the past and are skipped (they carry no information about the
+        availability from ``start_time`` on).
+        """
         profile = cls(total_procs, start_time)
         for start, end, procs in reservations:
+            if end <= start_time:
+                continue
             profile.subtract(max(start, start_time), end, procs)
         return profile
 

@@ -3,15 +3,22 @@
 A :class:`ClusterPlan` is the output of one planning pass of a local
 scheduling policy over the waiting queue of a cluster: for every waiting
 job it records the planned start and the planned (walltime-based)
-completion.  Plans are throw-away objects; the :class:`~repro.batch.server.
-BatchServer` recomputes them whenever the cluster state changes.
+completion.  Reference plans are throw-away objects recomputed from
+scratch; the scheduling hot path instead maintains an
+:class:`IncrementalPlan` — the same entries plus the *residual*
+availability profile left after every placed reservation — which supports
+suffix replanning: appending a job at the tail places exactly one
+reservation, and replanning from queue position ``k`` restores only the
+reservations of positions ``k..end`` before placing them again.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
+
+from repro.batch.profile import AvailabilityProfile
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,4 +91,150 @@ class ClusterPlan:
         return (
             f"ClusterPlan({self.cluster_name}, t={self.computed_at:.0f}, "
             f"{len(self._entries)} jobs)"
+        )
+
+
+class IncrementalPlan:
+    """A plan that can be edited per event instead of rebuilt per event.
+
+    State
+    -----
+    ``entries``
+        One :class:`PlannedJob` per waiting job, in queue order.
+    ``residual``
+        The availability profile left over after subtracting every feasible
+        entry's reservation from the cluster's base availability.  This is
+        the profile a policy would hand to the *next* placement, so tail
+        appends and what-if estimation queries need no replanning at all.
+    ``now``
+        Left edge of the residual; advanced lazily as simulated time moves.
+
+    The **dirty-suffix invariant** ties the two together: at every queue
+    position ``k``, the profile the reference planner would see before
+    placing job ``k`` equals ``residual`` plus the reservations of entries
+    ``k..end`` (:meth:`residual_before`).  Suffix replanning is therefore
+    exact: :meth:`restore_suffix` adds those reservations back and
+    truncates, after which placements continue as if the prefix had just
+    been planned from scratch.
+    """
+
+    __slots__ = ("cluster_name", "now", "entries", "residual", "_cached_plan", "_frontier")
+
+    def __init__(self, cluster_name: str, residual: AvailabilityProfile, now: float) -> None:
+        self.cluster_name = cluster_name
+        self.now = now
+        self.entries: List[PlannedJob] = []
+        self.residual = residual
+        self._cached_plan: Optional[ClusterPlan] = None
+        self._frontier: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def as_cluster_plan(self) -> ClusterPlan:
+        """Materialise the entries as a regular :class:`ClusterPlan` (cached)."""
+        if self._cached_plan is None:
+            plan = ClusterPlan(self.cluster_name, computed_at=self.now)
+            for entry in self.entries:
+                plan.add(entry)
+            self._cached_plan = plan
+        return self._cached_plan
+
+    def frontier(self) -> float:
+        """FCFS queue-order frontier: latest finite planned start (or ``now``).
+
+        Under FCFS planned starts are non-decreasing in queue order, so
+        this is exactly the ``previous_start`` value the reference planner
+        would hold after placing every current entry.
+        """
+        if self._frontier is None:
+            frontier = self.now
+            for entry in self.entries:
+                if math.isfinite(entry.planned_start) and entry.planned_start > frontier:
+                    frontier = entry.planned_start
+            self._frontier = frontier
+        return self._frontier
+
+    def residual_before(self, index: int) -> AvailabilityProfile:
+        """Profile a planner would see before placing queue position ``index``.
+
+        Reconstructed as a copy (the live residual is untouched); used by
+        introspection and the differential tests, not by the hot path.
+        """
+        profile = self.residual.copy()
+        for entry in self.entries[index:]:
+            if entry.is_feasible():
+                profile.add(entry.planned_start, entry.planned_end, entry.procs)
+        profile.compact()
+        return profile
+
+    # ------------------------------------------------------------------ #
+    # Mutation                                                           #
+    # ------------------------------------------------------------------ #
+    def _invalidate(self) -> None:
+        self._cached_plan = None
+        self._frontier = None
+
+    def advance(self, now: float) -> None:
+        """Advance the residual's left edge; entries are unaffected."""
+        if now == self.now:
+            return
+        self.residual.advance(now)
+        self.now = now
+        self._invalidate()
+
+    def place(self, job_id: int, procs: int, duration: float, earliest: float) -> PlannedJob:
+        """Place one job at the earliest slot of the residual and append it."""
+        start = self.residual.earliest_slot(procs, duration, earliest)
+        if math.isfinite(start):
+            end = start + duration
+            self.residual.subtract(start, end, procs)
+        else:
+            end = math.inf
+        entry = PlannedJob(job_id, procs, start, end)
+        self.entries.append(entry)
+        self._invalidate()
+        return entry
+
+    def restore_suffix(self, index: int) -> None:
+        """Undo the placements of queue positions ``index..end``.
+
+        The residual afterwards equals what the reference planner would
+        see before placing position ``index``; callers then re-place the
+        (possibly edited) suffix.
+        """
+        entries = self.entries
+        if index >= len(entries):
+            return
+        for entry in entries[index:]:
+            if entry.is_feasible():
+                self.residual.add(entry.planned_start, entry.planned_end, entry.procs)
+        del entries[index:]
+        self.residual.compact()
+        self._invalidate()
+
+    def remove_started(self, index: int) -> None:
+        """Drop the entry of a job that started exactly at its planned slot.
+
+        The reservation stays subtracted from the residual: it simply moved
+        from the planned suffix to the cluster's running set, which is the
+        one transition that costs nothing under the dirty-suffix invariant.
+        """
+        del self.entries[index]
+        self._invalidate()
+
+    def reset(self, residual: AvailabilityProfile, now: float) -> None:
+        """Restart from a fresh base profile (full replan)."""
+        self.residual = residual
+        self.now = now
+        self.entries = []
+        self._invalidate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IncrementalPlan({self.cluster_name}, t={self.now:.0f}, "
+            f"{len(self.entries)} jobs)"
         )

@@ -12,11 +12,18 @@ the simple queries the paper allows itself:
   job if it were submitted now (or of a job already waiting here);
 * :meth:`BatchServer.waiting_jobs` — snapshot of the waiting queue.
 
-Internally the server replans the waiting queue whenever its state changes
-(submission, cancellation, job completion) and starts every job whose
-planned start equals the current simulated time.  Because processors are
-only released by completion events, replanning at state changes is enough:
-between two events no new start can become feasible.
+Scheduling state is event-driven: instead of replanning the whole waiting
+queue whenever anything changes, the server drives an
+:class:`~repro.batch.policies.IncrementalPlanner` that edits only the
+dirty suffix of the plan — a submission places one job at the tail, a
+cancellation replans from the cancelled position, a job starting at its
+planned slot and a completion at the walltime boundary cost nothing, and
+only an early completion (processors returned at an unpredicted time)
+replans the full queue.  Estimation queries are served straight from the
+live residual profile, so the grid layer's ECT storms never trigger a
+replan.  Because processors are only released by completion events,
+handling these events is enough: between two events no new start can
+become feasible.
 """
 
 from __future__ import annotations
@@ -26,8 +33,7 @@ from typing import Callable, List, Optional
 
 from repro.batch.cluster import ClusterState, RunningJob
 from repro.batch.job import Job, JobState
-from repro.batch.policies import BatchPolicy, get_policy
-from repro.batch.profile import AvailabilityProfile
+from repro.batch.policies import BatchPolicy, IncrementalPlanner
 from repro.batch.schedule import ClusterPlan
 from repro.sim.events import EventType
 from repro.sim.kernel import SimulationKernel
@@ -77,16 +83,9 @@ class BatchServer:
         if isinstance(policy, str):
             policy = BatchPolicy(policy.lower())
         self.policy = policy
-        self._plan_fn = get_policy(policy)
+        self._planner = IncrementalPlanner(policy, self.cluster)
         self.on_completion = on_completion
         self.on_start = on_start
-        self._queue: List[Job] = []
-        # Planning cache: valid only for (timestamp, mutation counter).
-        self._cache_key: Optional[tuple[float, int]] = None
-        self._cached_plan: Optional[ClusterPlan] = None
-        self._cached_residual: Optional[AvailabilityProfile] = None
-        self._cached_last_start: float = 0.0
-        self._mutations = 0
         # Statistics.
         self.submitted_count = 0
         self.cancelled_count = 0
@@ -115,11 +114,11 @@ class BatchServer:
     @property
     def queue_length(self) -> int:
         """Number of waiting jobs."""
-        return len(self._queue)
+        return len(self._planner.jobs)
 
     def waiting_jobs(self) -> List[Job]:
         """Snapshot of the waiting queue, in queue order."""
-        return list(self._queue)
+        return list(self._planner.jobs)
 
     def work_left(self) -> float:
         """Remaining declared work, in core-seconds.
@@ -133,12 +132,12 @@ class BatchServer:
             entry.procs * max(0.0, entry.walltime_end - now)
             for entry in self.cluster.running_jobs()
         )
-        waiting = sum(job.procs * job.walltime_on(self.speed) for job in self._queue)
+        waiting = sum(job.procs * job.walltime_on(self.speed) for job in self._planner.jobs)
         return running + waiting
 
     def has_waiting(self, job: Job) -> bool:
         """True if the job is currently waiting in this server's queue."""
-        return any(j.job_id == job.job_id for j in self._queue)
+        return self._planner.index_of(job.job_id) >= 0
 
     def fits(self, job: Job) -> bool:
         """True if the job's processor request fits on this cluster."""
@@ -159,9 +158,8 @@ class BatchServer:
         job.state = JobState.WAITING
         job.cluster = self.name
         job.local_submit_time = self.kernel.now
-        self._queue.append(job)
+        self._planner.submit(job, self.kernel.now)
         self.submitted_count += 1
-        self._invalidate()
         self._schedule_pass()
 
     def cancel(self, job: Job) -> None:
@@ -170,16 +168,14 @@ class BatchServer:
         Running jobs cannot be cancelled (the paper's reallocation only ever
         moves jobs in the waiting state).
         """
-        for index, queued in enumerate(self._queue):
-            if queued.job_id == job.job_id:
-                del self._queue[index]
-                job.state = JobState.CANCELLED
-                job.cluster = None
-                self.cancelled_count += 1
-                self._invalidate()
-                self._schedule_pass()
-                return
-        raise BatchServerError(f"job {job.job_id} is not waiting on cluster {self.name}")
+        index = self._planner.index_of(job.job_id)
+        if index < 0:
+            raise BatchServerError(f"job {job.job_id} is not waiting on cluster {self.name}")
+        self._planner.cancel(index, self.kernel.now)
+        job.state = JobState.CANCELLED
+        job.cluster = None
+        self.cancelled_count += 1
+        self._schedule_pass()
 
     def estimate_completion(self, job: Job) -> float:
         """Expected completion time (ECT) of ``job`` on this cluster.
@@ -188,32 +184,36 @@ class BatchServer:
           completion time.
         * Otherwise it is the completion the job would obtain if it were
           submitted right now (placed at the end of the waiting queue, with
-          back-filling when the policy is CBF).
+          back-filling when the policy is CBF), computed as a pure query
+          against the live residual profile.
         * ``math.inf`` when the job cannot fit on this cluster.
         """
         if not self.cluster.fits(job):
             return math.inf
-        plan, residual, last_start = self._planning_state()
+        now = self.kernel.now
+        self._planner.advance(now)
+        plan = self._planner.cluster_plan()
         if job.job_id in plan:
             return plan.planned_end(job.job_id)
         duration = job.walltime_on(self.speed)
-        earliest = last_start if self.policy is BatchPolicy.FCFS else self.kernel.now
-        start = residual.earliest_slot(job.procs, duration, earliest)
+        earliest = self._planner.frontier() if self.policy is BatchPolicy.FCFS else now
+        start = self._planner.residual.earliest_slot(job.procs, duration, earliest)
         if not math.isfinite(start):
             return math.inf
         return start + duration
 
     def planned_completion(self, job: Job) -> float:
         """Planned completion time of a job already waiting on this cluster."""
-        plan, _, _ = self._planning_state()
+        self._planner.advance(self.kernel.now)
+        plan = self._planner.cluster_plan()
         if job.job_id not in plan:
             raise BatchServerError(f"job {job.job_id} is not waiting on cluster {self.name}")
         return plan.planned_end(job.job_id)
 
     def planned_schedule(self) -> ClusterPlan:
         """Current plan of the waiting queue (one entry per waiting job)."""
-        plan, _, _ = self._planning_state()
-        return plan
+        self._planner.advance(self.kernel.now)
+        return self._planner.cluster_plan()
 
     def running_snapshot(self) -> List[RunningJob]:
         """Snapshot of the running jobs (start time and walltime-based end)."""
@@ -222,42 +222,20 @@ class BatchServer:
     # ------------------------------------------------------------------ #
     # Internal scheduling                                                #
     # ------------------------------------------------------------------ #
-    def _invalidate(self) -> None:
-        self._mutations += 1
-        self._cache_key = None
-
-    def _planning_state(self) -> tuple[ClusterPlan, AvailabilityProfile, float]:
-        """Current plan, residual profile and FCFS frontier (cached per event)."""
-        key = (self.kernel.now, self._mutations)
-        if self._cache_key == key:
-            assert self._cached_plan is not None and self._cached_residual is not None
-            return self._cached_plan, self._cached_residual, self._cached_last_start
-        now = self.kernel.now
-        profile = self.cluster.build_profile(now)
-        plan = self._plan_fn(profile, self._queue, self.speed, now, self.name)
-        last_start = now
-        for entry in plan:
-            if math.isfinite(entry.planned_start):
-                last_start = max(last_start, entry.planned_start)
-        self._cache_key = key
-        self._cached_plan = plan
-        self._cached_residual = profile
-        self._cached_last_start = last_start
-        return plan, profile, last_start
-
     def _schedule_pass(self) -> None:
-        """Replan the waiting queue and start every job whose slot is now."""
-        if not self._queue:
+        """Start every waiting job whose planned slot is now."""
+        if not self._planner.jobs:
             return
-        plan, _, _ = self._planning_state()
         now = self.kernel.now
-        startable = [entry.job_id for entry in plan if entry.planned_start == now]
+        self._planner.advance(now)
+        startable = {
+            entry.job_id for entry in self._planner.plan.entries if entry.planned_start == now
+        }
         if not startable:
             return
-        startable_set = set(startable)
-        to_start = [job for job in self._queue if job.job_id in startable_set]
+        to_start = [job for job in self._planner.jobs if job.job_id in startable]
         for job in to_start:
-            if job.state is not JobState.WAITING or job not in self._queue:
+            if job.state is not JobState.WAITING or not self.has_waiting(job):
                 # Starting the previous job can trigger arbitrary observer
                 # callbacks (e.g. the multi-submission agent cancelling
                 # sibling copies), which may have removed or even started
@@ -275,14 +253,13 @@ class BatchServer:
     def _start_job(self, job: Job) -> None:
         """Transition a waiting job to running and schedule its completion."""
         now = self.kernel.now
-        self._queue.remove(job)
         self.cluster.start_job(job, now)
+        self._planner.job_started(job, now)
         job.state = JobState.RUNNING
         job.start_time = now
         job.killed = job.exceeds_walltime()
         duration = job.effective_runtime_on(self.speed)
         self.started_count += 1
-        self._invalidate()
         self.kernel.schedule_at(
             now + duration,
             self._complete_job,
@@ -294,13 +271,14 @@ class BatchServer:
 
     def _complete_job(self, job: Job) -> None:
         """Completion (or walltime kill) of a running job."""
-        self.cluster.finish_job(job.job_id)
+        now = self.kernel.now
+        entry = self.cluster.finish_job(job.job_id, now)
+        self._planner.job_finished(now, entry.walltime_end)
         job.state = JobState.COMPLETED
-        job.completion_time = self.kernel.now
+        job.completion_time = now
         self.completed_count += 1
         if job.killed:
             self.killed_count += 1
-        self._invalidate()
         self._schedule_pass()
         if self.on_completion is not None:
             self.on_completion(job)
@@ -308,5 +286,5 @@ class BatchServer:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"BatchServer({self.name}, {self.policy}, "
-            f"running={self.cluster.running_count}, waiting={len(self._queue)})"
+            f"running={self.cluster.running_count}, waiting={len(self._planner.jobs)})"
         )

@@ -34,11 +34,33 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.batch.job import Job
 from repro.core.metrics import ComparisonMetrics, compare_runs
 from repro.core.results import RunResult
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import (
+    DEFAULT_BENCH_TARGET_JOBS,
+    ExperimentConfig,
+    SweepConfig,
+)
 from repro.grid.simulation import GridSimulation
 from repro.platform.catalog import platform_for_scenario
 from repro.store import ResultStore
 from repro.workload.scenarios import get_scenario
+
+#: Named campaign groups understood by the CLI (``campaign run``,
+#: ``store gc``).  Each name maps to the (algorithm, heterogeneous) sweep
+#: groups it covers; ``paper`` is the full 364-cell experiment set.
+CAMPAIGN_GROUPS: Dict[str, Tuple[Tuple[str, bool], ...]] = {
+    "paper": (
+        ("standard", False),
+        ("standard", True),
+        ("cancellation", False),
+        ("cancellation", True),
+    ),
+    "standard-homogeneous": (("standard", False),),
+    "standard-heterogeneous": (("standard", True),),
+    "cancellation-homogeneous": (("cancellation", False),),
+    "cancellation-heterogeneous": (("cancellation", True),),
+}
+
+CAMPAIGN_NAMES: Tuple[str, ...] = tuple(sorted(CAMPAIGN_GROUPS))
 
 #: Per-process template cache of generated traces, keyed by
 #: ``ExperimentConfig.workload_key()``.  Workers inherit an empty cache and
@@ -135,6 +157,34 @@ class CampaignResult:
     results: Dict[ExperimentConfig, RunResult] = field(default_factory=dict)
     metrics: Dict[ExperimentConfig, ComparisonMetrics] = field(default_factory=dict)
     stats: CampaignStats = field(default_factory=CampaignStats)
+
+
+def campaign_configs(
+    name: str, target_jobs: int = DEFAULT_BENCH_TARGET_JOBS
+) -> List[ExperimentConfig]:
+    """Every unit of a named campaign, baselines included.
+
+    This is the authoritative membership list used by ``repro store gc``:
+    a store document whose config is not in this list does not belong to
+    the campaign.  ``target_jobs`` must match the value the campaign was
+    run with — it determines the per-scenario scale factors and therefore
+    the config keys.
+    """
+    try:
+        groups = CAMPAIGN_GROUPS[name]
+    except KeyError as exc:
+        valid = ", ".join(CAMPAIGN_NAMES)
+        raise ValueError(f"unknown campaign {name!r}; expected one of {valid}") from exc
+    configs: List[ExperimentConfig] = []
+    for algorithm, heterogeneous in groups:
+        configs.extend(
+            SweepConfig(
+                algorithm=algorithm,
+                heterogeneous=heterogeneous,
+                target_jobs=target_jobs,
+            ).configs()
+        )
+    return plan_units(configs)
 
 
 def plan_units(configs: Sequence[ExperimentConfig]) -> List[ExperimentConfig]:

@@ -42,6 +42,16 @@ def bench_scale(scenario_name: str, target_jobs: int = DEFAULT_BENCH_TARGET_JOBS
     return min(1.0, target_jobs / total)
 
 
+def full_trace_target_jobs() -> int:
+    """Job target that replays every scenario at its full paper volume.
+
+    Equal to the largest scenario's job count (133 135 jobs in the
+    paper's data), so :func:`bench_scale` resolves to 1.0 everywhere.
+    Used by the ``campaign run --preset full-trace`` sweep.
+    """
+    return max(get_scenario(name).total_jobs for name in SCENARIO_NAMES)
+
+
 @dataclass(frozen=True, slots=True)
 class ExperimentConfig:
     """Full description of one simulation run.

@@ -27,7 +27,11 @@ advance, so an ECT only changes when the state of its cluster changes
 (a cancellation or a submission).  The agent therefore keeps a table of
 estimates and refreshes, after each action, only the entries of the
 clusters that were touched; the selection outcome is identical to the
-naive re-query and the simulation stays fast.
+naive re-query and the simulation stays fast.  The batch servers underneath
+answer these queries from their live incremental planning state (see
+:mod:`repro.batch.policies`), so a refresh costs one earliest-slot search
+per estimate — the cancel/submit of a move replans only the affected queue
+suffix, never the whole queue.
 """
 
 from __future__ import annotations

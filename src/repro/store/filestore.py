@@ -26,7 +26,7 @@ import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Tuple, Union
 
 from repro.core.metrics import ComparisonMetrics
 from repro.core.results import RunResult
@@ -159,6 +159,35 @@ class ResultStore:
         """Remove every document of the store (the root itself is kept)."""
         for namespace in ("results", "metrics"):
             shutil.rmtree(self.root / namespace, ignore_errors=True)
+
+    def gc(self, keep_keys: Iterable[str], dry_run: bool = False) -> Tuple[int, int]:
+        """Drop every document whose config key is not in ``keep_keys``.
+
+        Used by ``repro store gc --campaign <name>``: the caller computes
+        the config keys of every unit of the campaign and the store keeps
+        only those (both result and metrics documents share the key of
+        their configuration).  Returns ``(kept, removed)`` document counts;
+        with ``dry_run`` nothing is deleted and ``removed`` counts the
+        documents that *would* go.  Sharding directories left empty by the
+        sweep are pruned.
+        """
+        keep = set(keep_keys)
+        kept = 0
+        removed = 0
+        if not self.root.exists():
+            return kept, removed
+        for path in sorted(self.root.glob("*/??/*.json")):
+            if path.stem in keep:
+                kept += 1
+            elif dry_run:
+                removed += 1
+            else:
+                removed += self._drop(path)
+                try:
+                    path.parent.rmdir()
+                except OSError:
+                    pass  # shard still holds surviving documents
+        return kept, removed
 
     def __len__(self) -> int:
         """Number of stored documents (results + metrics)."""

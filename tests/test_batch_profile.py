@@ -36,6 +36,15 @@ class TestConstruction:
         assert profile.free_at(12.0) == 6
         assert profile.free_at(20.0) == 8
 
+    def test_from_reservations_skips_past_reservations(self):
+        # Reservations ending at or before the profile start carry no
+        # information and must be skipped, not crash on an empty interval.
+        profile = AvailabilityProfile.from_reservations(
+            8, 100.0, [(0.0, 50.0, 4), (10.0, 100.0, 8), (90.0, 150.0, 2)]
+        )
+        assert profile.free_at(100.0) == 6
+        assert profile.free_at(150.0) == 8
+
 
 class TestSubtractAdd:
     def test_subtract_creates_step(self):
@@ -162,6 +171,91 @@ class TestEarliestSlot:
         start = profile.reserve(8, 10.0, earliest=0.0)
         assert start == math.inf
         assert profile.free_at(0.0) == 4
+
+
+class TestSubtractErrorPath:
+    def test_error_reports_available_procs(self):
+        profile = AvailabilityProfile(4)
+        profile.subtract(0.0, 10.0, 3)
+        with pytest.raises(ProfileError, match="only 1 free"):
+            profile.subtract(5.0, 15.0, 2)
+        # The failed subtraction left the profile untouched.
+        assert profile.free_at(5.0) == 1
+        assert profile.free_at(12.0) == 4
+
+
+class TestLiveProfile:
+    def test_advance_drops_past_breakpoints(self):
+        profile = AvailabilityProfile(8)
+        profile.subtract(10.0, 20.0, 3)
+        profile.subtract(30.0, 40.0, 5)
+        profile.advance(25.0)
+        assert profile.start_time == 25.0
+        assert profile.free_at(25.0) == 8
+        assert profile.free_at(35.0) == 3
+        assert profile.free_at(45.0) == 8
+
+    def test_advance_is_noop_before_start(self):
+        profile = AvailabilityProfile(8, start_time=50.0)
+        profile.advance(10.0)
+        assert profile.start_time == 50.0
+
+    def test_advance_preserves_function_from_now_on(self):
+        profile = AvailabilityProfile(8)
+        profile.subtract(0.0, 100.0, 2)
+        profile.subtract(40.0, 60.0, 4)
+        reference = [(t, profile.free_at(t)) for t in (45.0, 59.0, 60.0, 99.0, 100.0)]
+        profile.advance(45.0)
+        assert [(t, profile.free_at(t)) for t in (45.0, 59.0, 60.0, 99.0, 100.0)] == reference
+
+    def test_advance_coalesces_the_clamped_edge(self):
+        profile = AvailabilityProfile(8)
+        profile.subtract(0.0, 10.0, 3)
+        profile.advance(10.0)
+        assert list(profile.breakpoints()) == [(10.0, 8)]
+
+    def test_release_restores_a_reservation_tail(self):
+        profile = AvailabilityProfile(8)
+        profile.subtract(0.0, 100.0, 5)
+        profile.advance(30.0)
+        # Job finished early at t=30: release the rest of its window.
+        profile.release(30.0, 100.0, 5)
+        assert list(profile.breakpoints()) == [(30.0, 8)]
+
+    def test_release_clamps_to_the_left_edge(self):
+        profile = AvailabilityProfile(8)
+        profile.subtract(0.0, 100.0, 5)
+        profile.advance(50.0)
+        # The reservation started before the current left edge.
+        profile.release(0.0, 100.0, 5)
+        assert profile.free_at(50.0) == 8
+        assert profile.free_at(99.0) == 8
+
+    def test_release_of_past_interval_is_noop(self):
+        profile = AvailabilityProfile(8, start_time=100.0)
+        profile.release(0.0, 50.0, 4)
+        assert list(profile.breakpoints()) == [(100.0, 8)]
+
+    def test_release_rejects_non_positive_procs(self):
+        profile = AvailabilityProfile(8)
+        with pytest.raises(ValueError):
+            profile.release(0.0, 10.0, 0)
+
+    def test_compact_removes_redundant_breakpoints(self):
+        profile = AvailabilityProfile(8)
+        profile.subtract(10.0, 20.0, 3)
+        profile.add(10.0, 20.0, 3)
+        assert profile.free_at(15.0) == 8
+        profile.compact()
+        assert list(profile.breakpoints()) == [(0.0, 8)]
+
+    def test_compact_preserves_real_steps(self):
+        profile = AvailabilityProfile(8)
+        profile.subtract(10.0, 20.0, 3)
+        before = [(t, profile.free_at(t)) for t in (0.0, 10.0, 19.0, 20.0)]
+        profile.compact()
+        assert [(t, profile.free_at(t)) for t in (0.0, 10.0, 19.0, 20.0)] == before
+        assert len(list(profile.breakpoints())) == 3
 
 
 class TestCopy:

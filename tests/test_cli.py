@@ -1,0 +1,165 @@
+"""Tests for the `repro` command-line interface (campaign presets, store gc)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import _default_worker_counts, main
+from repro.experiments.campaign import CAMPAIGN_NAMES, campaign_configs
+from repro.experiments.config import full_trace_target_jobs
+from repro.store import ResultStore, config_key
+from repro.workload.scenarios import SCENARIO_NAMES, get_scenario
+
+TARGET = 15  # tiny traces keep the CLI tests fast
+
+
+class TestFullTracePreset:
+    def test_preset_reports_wall_clock_per_worker_count(self, tmp_path, capsys):
+        code = main([
+            "campaign", "run", "--preset", "full-trace",
+            "--target-jobs", str(TARGET), "--worker-counts", "1",
+            "--algorithm", "standard", "--platform", "homogeneous",
+            "--store", str(tmp_path / "store"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "full-trace preset" in out
+        assert "workers=1:" in out and "wall-clock" in out
+        assert "best: workers=1" in out
+
+    def test_preset_defaults_to_full_trace_volume(self):
+        expected = max(get_scenario(name).total_jobs for name in SCENARIO_NAMES)
+        assert full_trace_target_jobs() == expected
+
+    def test_preset_rejects_non_positive_worker_counts(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "campaign", "run", "--preset", "full-trace",
+                "--target-jobs", str(TARGET), "--worker-counts", "0",
+                "--store", str(tmp_path / "store"),
+            ])
+
+    def test_default_worker_counts_are_positive_powers_of_two(self):
+        counts = _default_worker_counts()
+        assert counts[0] == 1
+        assert all(b == 2 * a for a, b in zip(counts, counts[1:]))
+
+    def test_preset_honours_workers_as_single_count(self, tmp_path, capsys):
+        code = main([
+            "campaign", "run", "--preset", "full-trace",
+            "--target-jobs", str(TARGET), "--workers", "1",
+            "--algorithm", "standard", "--platform", "homogeneous",
+            "--store", str(tmp_path / "store"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worker counts [1]" in out
+
+    def test_preset_rejects_workers_with_worker_counts(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "campaign", "run", "--preset", "full-trace",
+                "--target-jobs", str(TARGET), "--workers", "2",
+                "--worker-counts", "1", "--store", str(tmp_path / "store"),
+            ])
+
+
+class TestStoreGc:
+    @pytest.fixture()
+    def warm_store(self, tmp_path):
+        """Store warmed with the standard/homogeneous sweep at TARGET jobs."""
+        store_dir = tmp_path / "store"
+        code = main([
+            "campaign", "run", "--algorithm", "standard",
+            "--platform", "homogeneous", "--target-jobs", str(TARGET),
+            "--store", str(store_dir),
+        ])
+        assert code == 0
+        return store_dir
+
+    def test_gc_keeps_matching_campaign(self, warm_store, capsys):
+        code = main([
+            "store", "gc", "--campaign", "standard-homogeneous",
+            "--target-jobs", str(TARGET), "--store", str(warm_store),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 removed" in out
+        store = ResultStore(warm_store)
+        assert len(store) > 0
+
+    def test_gc_dry_run_removes_nothing(self, warm_store, capsys):
+        before = len(ResultStore(warm_store))
+        code = main([
+            "store", "gc", "--campaign", "cancellation-heterogeneous",
+            "--target-jobs", str(TARGET), "--store", str(warm_store), "--dry-run",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "would remove" in out
+        assert len(ResultStore(warm_store)) == before
+
+    def test_gc_drops_foreign_documents_but_keeps_shared_baselines(self, warm_store):
+        store = ResultStore(warm_store)
+        before = len(store)
+        code = main([
+            "store", "gc", "--campaign", "cancellation-homogeneous",
+            "--target-jobs", str(TARGET), "--store", str(warm_store),
+        ])
+        assert code == 0
+        # The realloc runs and metrics of the standard sweep are gone, but
+        # the baselines (shared between the two algorithms on the same
+        # platform flavour) survive.
+        remaining = len(ResultStore(warm_store))
+        baselines = [c for c in campaign_configs(
+            "cancellation-homogeneous", target_jobs=TARGET) if c.is_baseline]
+        assert remaining == len(baselines)
+        assert remaining < before
+
+    def test_gc_requires_explicit_target_jobs(self, warm_store):
+        # Config keys depend on --target-jobs; defaulting it would silently
+        # classify documents from other volumes as garbage.
+        with pytest.raises(SystemExit, match="target-jobs"):
+            main([
+                "store", "gc", "--campaign", "standard-homogeneous",
+                "--store", str(warm_store),
+            ])
+        assert len(ResultStore(warm_store)) > 0
+
+    def test_gc_requires_existing_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main([
+                "store", "gc", "--campaign", "paper",
+                "--target-jobs", str(TARGET),
+                "--store", str(tmp_path / "missing"),
+            ])
+
+    def test_gc_rejects_no_store(self, warm_store):
+        with pytest.raises(SystemExit):
+            main([
+                "store", "gc", "--campaign", "paper", "--no-store",
+                "--store", str(warm_store),
+            ])
+
+
+class TestCampaignConfigs:
+    def test_paper_covers_all_four_groups(self):
+        paper = campaign_configs("paper", target_jobs=TARGET)
+        partial = campaign_configs("standard-homogeneous", target_jobs=TARGET)
+        assert set(partial) <= set(paper)
+        assert len(set(paper)) == len(paper)
+        algorithms = {c.algorithm for c in paper}
+        assert algorithms == {None, "standard", "cancellation"}
+
+    def test_unknown_campaign_raises(self):
+        with pytest.raises(ValueError):
+            campaign_configs("nope")
+
+    def test_names_are_sorted_and_complete(self):
+        assert list(CAMPAIGN_NAMES) == sorted(CAMPAIGN_NAMES)
+        assert "paper" in CAMPAIGN_NAMES
+
+    def test_config_keys_depend_on_target_jobs(self):
+        small = {config_key(c) for c in campaign_configs("paper", target_jobs=TARGET)}
+        large = {config_key(c) for c in campaign_configs("paper", target_jobs=2 * TARGET)}
+        assert small.isdisjoint(large)

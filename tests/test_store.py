@@ -200,3 +200,38 @@ class TestCorruptedFileRecovery:
         path.write_text("")
         assert store.get_result(config) is None
         assert not path.exists()
+
+
+class TestGarbageCollection:
+    def _populate(self, store, count=4):
+        configs = [make_config(seed=20100326 + i) for i in range(count)]
+        for config in configs:
+            store.put_result(config, make_result())
+            store.put_metrics(config, make_metrics())
+        return configs
+
+    def test_gc_keeps_only_requested_keys(self, store):
+        configs = self._populate(store)
+        keep = {config_key(c) for c in configs[:2]}
+        kept, removed = store.gc(keep)
+        assert (kept, removed) == (4, 4)  # result + metrics per kept config
+        assert len(store) == 4
+        assert store.get_result(configs[0]) is not None
+        assert store.get_result(configs[3]) is None
+
+    def test_gc_dry_run_removes_nothing(self, store):
+        configs = self._populate(store)
+        kept, removed = store.gc({config_key(configs[0])}, dry_run=True)
+        assert (kept, removed) == (2, 6)
+        assert len(store) == 8
+
+    def test_gc_on_missing_store_is_noop(self, tmp_path):
+        store = ResultStore(tmp_path / "never-created")
+        assert store.gc(set()) == (0, 0)
+
+    def test_gc_prunes_empty_shards(self, store):
+        configs = self._populate(store)
+        store.gc(set())
+        assert len(store) == 0
+        # every <hh> shard directory of the dropped documents is gone
+        assert not list(store.root.glob("*/??"))
