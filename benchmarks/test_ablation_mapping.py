@@ -8,35 +8,36 @@ part of the response time lost by the blind mapping policies.
 """
 
 from benchmarks.conftest import TARGET_JOBS
-from repro.experiments.config import ExperimentConfig, bench_scale
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweeps import SweepSpec
 
 MAPPINGS = ("mct", "random", "round_robin")
+
+SPEC = SweepSpec(
+    name="ablation-mapping",
+    description="Mapping policy at submission, with and without reallocation",
+    scenarios=("feb",),
+    batch_policies=("fcfs",),
+    algorithms=("cancellation",),
+    heuristics=("minmin",),
+    mapping_policies=MAPPINGS,
+    target_jobs=TARGET_JOBS,
+)
 
 
 def test_ablation_mapping_policy(benchmark):
     runner = ExperimentRunner()
-    scale = bench_scale("feb", TARGET_JOBS)
 
     def sweep_mappings():
         results = {}
-        for mapping in MAPPINGS:
-            baseline = runner.baseline(
-                ExperimentConfig(
-                    scenario="feb", batch_policy="fcfs", scale=scale, mapping_policy=mapping
-                )
+        for config in SPEC.configs():
+            # The baseline keeps the cell's mapping policy: the ablation
+            # compares each blind policy against itself with reallocation.
+            baseline = runner.baseline(config)
+            results[config.mapping_policy] = (
+                baseline.mean_response_time(),
+                runner.metrics(config),
             )
-            metrics = runner.metrics(
-                ExperimentConfig(
-                    scenario="feb",
-                    batch_policy="fcfs",
-                    algorithm="cancellation",
-                    heuristic="minmin",
-                    scale=scale,
-                    mapping_policy=mapping,
-                )
-            )
-            results[mapping] = (baseline.mean_response_time(), metrics)
         return results
 
     results = benchmark.pedantic(sweep_mappings, rounds=1, iterations=1)

@@ -7,27 +7,28 @@ performances" (Section 2.2.1).  This ablation varies the period (15 min,
 periods may move more jobs, longer periods miss opportunities.
 """
 
-from dataclasses import replace
-
 from benchmarks.conftest import TARGET_JOBS
-from repro.experiments.config import ExperimentConfig, bench_scale
+from repro.experiments.sweeps import SweepSpec
 
 PERIODS = (900.0, 3600.0, 14_400.0)
 
+SPEC = SweepSpec(
+    name="ablation-period",
+    description="Reallocation trigger period (15 min, 1 h, 4 h)",
+    scenarios=("may",),
+    batch_policies=("fcfs",),
+    algorithms=("standard",),
+    heuristics=("minmin",),
+    reallocation_periods=PERIODS,
+    target_jobs=TARGET_JOBS,
+)
+
 
 def test_ablation_reallocation_period(benchmark, runner):
-    base = ExperimentConfig(
-        scenario="may",
-        batch_policy="fcfs",
-        algorithm="standard",
-        heuristic="minmin",
-        scale=bench_scale("may", TARGET_JOBS),
-    )
-
     def sweep_periods():
         return {
-            period: runner.metrics(replace(base, reallocation_period=period))
-            for period in PERIODS
+            config.reallocation_period: runner.metrics(config)
+            for config in SPEC.configs()
         }
 
     results = benchmark.pedantic(sweep_periods, rounds=1, iterations=1)

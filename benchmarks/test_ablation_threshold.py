@@ -6,27 +6,28 @@ threshold (move on any improvement), the paper's 60 seconds, and a much
 more conservative 10 minutes.
 """
 
-from dataclasses import replace
-
 from benchmarks.conftest import TARGET_JOBS
-from repro.experiments.config import ExperimentConfig, bench_scale
+from repro.experiments.sweeps import SweepSpec
 
 THRESHOLDS = (0.0, 60.0, 600.0)
 
+SPEC = SweepSpec(
+    name="ablation-threshold",
+    description="Minimum ECT improvement to move a job (0 s, 1 min, 10 min)",
+    scenarios=("jun",),
+    batch_policies=("fcfs",),
+    algorithms=("standard",),
+    heuristics=("mct",),
+    reallocation_thresholds=THRESHOLDS,
+    target_jobs=TARGET_JOBS,
+)
+
 
 def test_ablation_improvement_threshold(benchmark, runner):
-    base = ExperimentConfig(
-        scenario="jun",
-        batch_policy="fcfs",
-        algorithm="standard",
-        heuristic="mct",
-        scale=bench_scale("jun", TARGET_JOBS),
-    )
-
     def sweep_thresholds():
         return {
-            threshold: runner.metrics(replace(base, reallocation_threshold=threshold))
-            for threshold in THRESHOLDS
+            config.reallocation_threshold: runner.metrics(config)
+            for config in SPEC.configs()
         }
 
     results = benchmark.pedantic(sweep_thresholds, rounds=1, iterations=1)

@@ -23,6 +23,19 @@ Usage (installed entry point ``repro`` or ``python -m repro``)::
     # wall-clock per count
     python -m repro campaign run --preset full-trace --worker-counts 1 4 8
 
+    # Declarative parameter-grid campaigns: run a named sweep (work-
+    # stealing claim loop over the store) and print its report — the
+    # ranked best cells plus per-axis marginal means
+    python -m repro campaign sweep --list
+    python -m repro campaign sweep period-grid --workers 4
+
+    # Long-running / multi-host execution: every host points one or more
+    # workers at the same store directory; each worker claims unclaimed
+    # configurations until the sweep is drained, then any host renders
+    # the report from the warm store
+    python -m repro campaign worker --sweep period-grid --store /mnt/shared/store
+    python -m repro campaign sweep period-grid --store /mnt/shared/store
+
     # Drop store documents that belong to no configuration of a campaign
     # (--target-jobs must match the value the campaign was run with)
     python -m repro store gc --campaign paper --target-jobs 300
@@ -41,7 +54,14 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.campaign import CAMPAIGN_NAMES, campaign_configs
+from repro.experiments.campaign import (
+    CAMPAIGN_NAMES,
+    campaign_configs,
+    drain_units,
+    plan_units,
+    run_campaign,
+    run_distributed_sweep,
+)
 from repro.experiments.config import (
     DEFAULT_BENCH_TARGET_JOBS,
     SweepConfig,
@@ -52,16 +72,20 @@ from repro.experiments.report import (
     render_comparison,
     render_figure1,
     render_figure2,
+    render_sweep_report,
     render_table,
 )
 from repro.experiments.runner import ExperimentRunner, SweepResult
+from repro.experiments.sweeps import SWEEP_NAMES, SWEEP_REGISTRY, get_sweep
 from repro.experiments.tables import (
+    METRIC_NAMES,
     TABLE_NUMBERS,
     build_metric_table,
+    build_sweep_report,
     comparison_summary,
     table_workload,
 )
-from repro.store import ResultStore, config_key
+from repro.store import DEFAULT_STALE_LOCK_SECONDS, ResultStore, config_key
 
 #: table number -> (metric, algorithm, heterogeneous)
 TABLE_SPECS = {number: spec for spec, number in TABLE_NUMBERS.items()}
@@ -123,6 +147,49 @@ def build_parser() -> argparse.ArgumentParser:
                      "preset (default: powers of two up to the CPU count)")
     _add_common_options(run)
 
+    sweep = campaign_commands.add_parser(
+        "sweep", help="run a named declarative sweep and print its report",
+        description="Expand a named declarative sweep (parameter grid), "
+                    "drain it through the store's work-stealing claim loop "
+                    "(cooperating with any `campaign worker` processes "
+                    "pointed at the same store), and print the sweep "
+                    "report: ranked best cells and per-axis marginals.")
+    sweep.add_argument("name", nargs="?", choices=SWEEP_NAMES,
+                       help="sweep to run (see --list)")
+    sweep.add_argument("--list", action="store_true", dest="list_sweeps",
+                       help="list the available sweeps and exit")
+    sweep.add_argument("--metric", default="response", choices=METRIC_NAMES,
+                       help="metric the report ranks on (default %(default)s)")
+    sweep.add_argument("--top", type=int, default=5, metavar="K",
+                       help="best cells shown by the report (default %(default)s)")
+    sweep.add_argument("--stale-after", type=float,
+                       default=DEFAULT_STALE_LOCK_SECONDS, metavar="S",
+                       help="seconds before a claim of a dead worker is "
+                            "taken over (default %(default)s)")
+    sweep.add_argument("--poll", type=float, default=0.5, metavar="S",
+                       help="seconds between passes over units claimed "
+                            "elsewhere (default %(default)s)")
+    _add_common_options(sweep)
+
+    worker = campaign_commands.add_parser(
+        "worker", help="drain one sweep as a claim-loop worker",
+        description="Run one work-stealing worker: claim unclaimed "
+                    "configurations of the sweep from the shared store, "
+                    "simulate them, and exit when the sweep is drained. "
+                    "Start any number of workers on any number of hosts "
+                    "against the same store directory; no unit is "
+                    "simulated twice and none is lost.")
+    worker.add_argument("--sweep", required=True, choices=SWEEP_NAMES,
+                        help="sweep whose units this worker drains")
+    worker.add_argument("--stale-after", type=float,
+                        default=DEFAULT_STALE_LOCK_SECONDS, metavar="S",
+                        help="seconds before a claim of a dead worker is "
+                             "taken over (default %(default)s)")
+    worker.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="seconds between passes over units claimed "
+                             "elsewhere (default %(default)s)")
+    _add_common_options(worker)
+
     store = commands.add_parser(
         "store", help="manage the persistent result store",
         description="Inspect and garbage-collect the result store.")
@@ -164,14 +231,16 @@ def _target_jobs(args: argparse.Namespace) -> int:
     return args.target_jobs if args.target_jobs is not None else DEFAULT_BENCH_TARGET_JOBS
 
 
+def _open_store(args: argparse.Namespace) -> ResultStore:
+    if os.path.exists(args.store) and not os.path.isdir(args.store):
+        raise SystemExit(
+            f"repro: error: --store {args.store!r} exists and is not a directory"
+        )
+    return ResultStore(args.store)
+
+
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
-    store = None
-    if not args.no_store:
-        if os.path.exists(args.store) and not os.path.isdir(args.store):
-            raise SystemExit(
-                f"repro: error: --store {args.store!r} exists and is not a directory"
-            )
-        store = ResultStore(args.store)
+    store = None if args.no_store else _open_store(args)
     return ExperimentRunner(verbose=args.verbose, store=store, workers=args.workers)
 
 
@@ -270,6 +339,103 @@ def _cmd_full_trace_preset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_sweep(args: argparse.Namespace) -> int:
+    if args.list_sweeps:
+        for name in SWEEP_NAMES:
+            spec = SWEEP_REGISTRY[name]
+            configs = spec.configs()
+            units = plan_units(configs)
+            print(f"{name:36s} {len(configs):4d} cells / {len(units):4d} units  "
+                  f"{spec.description}")
+        return 0
+    if args.name is None:
+        raise SystemExit("repro: error: campaign sweep needs a sweep name "
+                         "(or --list to see the choices)")
+    spec = get_sweep(args.name, target_jobs=args.target_jobs)
+    configs = spec.configs()
+    started = time.perf_counter()
+    conflicts = takeovers = 0
+    if args.no_store:
+        # No coordination point: fall back to the in-memory campaign
+        # engine (serial or process pool).
+        campaign = run_campaign(configs, workers=args.workers)
+        simulated = campaign.stats.simulated
+    else:
+        store = _open_store(args)
+        if args.fresh:
+            # --fresh declares the store contents void, locks of crashed
+            # runs included — otherwise the drain would wait out
+            # --stale-after on every orphaned claim.
+            for unit in plan_units(configs):
+                store.invalidate(unit)
+                store.break_claim(unit)
+        progress = None
+        if args.verbose:  # pragma: no cover - cosmetic
+            if args.workers is not None and args.workers > 1:
+                # Pool workers are separate processes: per-simulation
+                # callbacks cannot cross the boundary.
+                print("[sweep] --verbose: per-simulation progress is only "
+                      "available with --workers 1 (or via `campaign worker "
+                      "--verbose` processes)", file=sys.stderr)
+            else:
+                progress = lambda c, source: print(  # noqa: E731
+                    f"[sweep] {c.label()} ({source})", file=sys.stderr)
+        reports = run_distributed_sweep(
+            configs, store, workers=args.workers,
+            stale_after=args.stale_after, poll_interval=args.poll,
+            progress=progress,
+        )
+        simulated = sum(len(report.simulated) for report in reports)
+        conflicts = sum(report.claim_conflicts for report in reports)
+        takeovers = sum(report.stale_takeovers for report in reports)
+        # Every unit now has a stored result; this pass only hydrates
+        # missing metrics and never simulates.
+        campaign = run_campaign(configs, store=store)
+    print(render_sweep_report(
+        build_sweep_report(spec, campaign.metrics, metric=args.metric),
+        top=args.top,
+    ))
+    elapsed = time.perf_counter() - started
+    print(f"sweep {spec.name}: {len(configs)} cells, {simulated} simulated, "
+          f"{conflicts} claim conflicts, {takeovers} stale takeovers, "
+          f"{elapsed:.1f}s elapsed", file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    if args.no_store:
+        raise SystemExit(
+            "repro: error: campaign worker coordinates through a shared "
+            "store (drop --no-store)"
+        )
+    if args.fresh:
+        raise SystemExit(
+            "repro: error: campaign worker does not support --fresh; run "
+            "`campaign sweep --fresh` once before starting the workers"
+        )
+    if args.workers is not None:
+        raise SystemExit(
+            "repro: error: campaign worker is single-process by design; "
+            "start several `campaign worker` processes instead"
+        )
+    spec = get_sweep(args.sweep, target_jobs=args.target_jobs)
+    store = _open_store(args)
+    units = plan_units(spec.configs())
+    progress = None
+    if args.verbose:  # pragma: no cover - cosmetic
+        progress = lambda c, source: print(  # noqa: E731
+            f"[worker] {c.label()} ({source})", file=sys.stderr)
+    report = drain_units(
+        units, store, stale_after=args.stale_after,
+        poll_interval=args.poll, progress=progress,
+    )
+    print(f"worker {report.owner} drained sweep {spec.name}: "
+          f"{len(report.simulated)} simulated, {report.store_hits} already "
+          f"stored, {report.claim_conflicts} claim conflicts, "
+          f"{report.stale_takeovers} stale takeovers, {report.wall_s:.1f}s")
+    return 0
+
+
 def _cmd_store_gc(args: argparse.Namespace) -> int:
     if args.no_store:
         raise SystemExit("repro: error: store gc needs a store (drop --no-store)")
@@ -339,6 +505,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "campaign":
+            if args.campaign_command == "sweep":
+                return _cmd_campaign_sweep(args)
+            if args.campaign_command == "worker":
+                return _cmd_campaign_worker(args)
             return _cmd_campaign_run(args)
         if args.command == "store":
             return _cmd_store_gc(args)

@@ -2,9 +2,14 @@
 
 * :mod:`repro.experiments.config` — experiment configurations and the
   default (scaled-down) sizing used by the benchmark suite.
+* :mod:`repro.experiments.sweeps` — declarative named parameter grids
+  (:class:`SweepSpec`) expanding deterministically into experiment
+  configurations, with a registry of built-in sweeps.
 * :mod:`repro.experiments.campaign` — the parallel campaign engine:
   deduplicates shared baselines, skips stored results and fans the
-  remaining simulations out over a process pool.
+  remaining simulations out over a process pool; also the distributed
+  work-stealing drain loop coordinating concurrent workers through the
+  store's claim/release locks.
 * :mod:`repro.experiments.runner` — facade over the campaign engine and
   the :mod:`repro.store` result store; runs single experiments and full
   sweeps, with caching so the sixteen tables that share the same 364
@@ -20,8 +25,11 @@
 from repro.experiments.campaign import (
     CampaignResult,
     CampaignStats,
+    WorkerReport,
+    drain_units,
     plan_units,
     run_campaign,
+    run_distributed_sweep,
 )
 from repro.experiments.config import (
     DEFAULT_BENCH_TARGET_JOBS,
@@ -31,8 +39,16 @@ from repro.experiments.config import (
 )
 from repro.experiments.figures import figure1_example, figure2_side_effects
 from repro.experiments.runner import ExperimentRunner, SweepResult
+from repro.experiments.sweeps import (
+    SWEEP_NAMES,
+    SweepSpec,
+    get_sweep,
+    paper_sweep,
+)
 from repro.experiments.tables import (
+    SweepReport,
     TableResult,
+    build_sweep_report,
     comparison_summary,
     table_early,
     table_impacted,
@@ -47,12 +63,21 @@ __all__ = [
     "DEFAULT_BENCH_TARGET_JOBS",
     "ExperimentConfig",
     "ExperimentRunner",
+    "SWEEP_NAMES",
     "SweepConfig",
+    "SweepReport",
     "SweepResult",
+    "SweepSpec",
     "TableResult",
+    "WorkerReport",
     "bench_scale",
+    "build_sweep_report",
+    "drain_units",
+    "get_sweep",
+    "paper_sweep",
     "plan_units",
     "run_campaign",
+    "run_distributed_sweep",
     "comparison_summary",
     "figure1_example",
     "figure2_side_effects",

@@ -23,10 +23,18 @@ Determinism: each simulation is a single-threaded discrete-event run fully
 determined by its configuration, and metrics are computed from completed
 results in the parent, so a 4-worker campaign is byte-identical to the
 serial path — only wall-clock time changes.
+
+The same unit planning also drives the *distributed* execution path: with
+several worker processes — or several hosts — sharing one store directory,
+:func:`drain_units` lets every worker pull unclaimed configurations
+through the store's advisory claim/release protocol until the sweep is
+drained (see :func:`run_distributed_sweep` and ``repro campaign worker``).
 """
 
 from __future__ import annotations
 
+import time as _time
+import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -37,11 +45,11 @@ from repro.core.results import RunResult
 from repro.experiments.config import (
     DEFAULT_BENCH_TARGET_JOBS,
     ExperimentConfig,
-    SweepConfig,
 )
+from repro.experiments.sweeps import paper_sweep
 from repro.grid.simulation import GridSimulation
 from repro.platform.catalog import platform_for_scenario
-from repro.store import ResultStore
+from repro.store import DEFAULT_STALE_LOCK_SECONDS, ResultStore, default_owner
 from repro.workload.scenarios import get_scenario
 
 #: Named campaign groups understood by the CLI (``campaign run``,
@@ -65,8 +73,23 @@ CAMPAIGN_NAMES: Tuple[str, ...] = tuple(sorted(CAMPAIGN_GROUPS))
 #: Per-process template cache of generated traces, keyed by
 #: ``ExperimentConfig.workload_key()``.  Workers inherit an empty cache and
 #: fill it on first use; configurations sharing a trace pay generation once
-#: per process instead of once per simulation.
+#: per process instead of once per simulation.  A campaign worker draining
+#: a sweep (:func:`drain_units`) therefore pays full-trace synthesis once
+#: per worker process, however many cells it claims.
 _TRACE_CACHE: Dict[Tuple, List[Job]] = {}
+
+
+@dataclass(slots=True)
+class TraceCacheStats:
+    """Counters of the process-local workload template cache."""
+
+    #: traces synthesized from scratch in this process
+    synthesized: int = 0
+    #: workload requests served from an existing template
+    hits: int = 0
+
+
+_TRACE_STATS = TraceCacheStats()
 
 
 def fresh_workload(config: ExperimentConfig) -> List[Job]:
@@ -78,12 +101,24 @@ def fresh_workload(config: ExperimentConfig) -> List[Job]:
         scenario = get_scenario(config.scenario)
         template = scenario.generate(platform, scale=config.scale, seed=config.seed)
         _TRACE_CACHE[key] = template
+        _TRACE_STATS.synthesized += 1
+    else:
+        _TRACE_STATS.hits += 1
     return [job.copy() for job in template]
 
 
+def trace_cache_stats() -> TraceCacheStats:
+    """Snapshot of this process's template-cache counters."""
+    return TraceCacheStats(
+        synthesized=_TRACE_STATS.synthesized, hits=_TRACE_STATS.hits
+    )
+
+
 def clear_trace_cache() -> None:
-    """Drop the process-local trace templates (mostly for tests)."""
+    """Drop the process-local trace templates and counters (mostly for tests)."""
     _TRACE_CACHE.clear()
+    _TRACE_STATS.synthesized = 0
+    _TRACE_STATS.hits = 0
 
 
 def execute_config(
@@ -177,13 +212,7 @@ def campaign_configs(
         raise ValueError(f"unknown campaign {name!r}; expected one of {valid}") from exc
     configs: List[ExperimentConfig] = []
     for algorithm, heterogeneous in groups:
-        configs.extend(
-            SweepConfig(
-                algorithm=algorithm,
-                heterogeneous=heterogeneous,
-                target_jobs=target_jobs,
-            ).configs()
-        )
+        configs.extend(paper_sweep(algorithm, heterogeneous, target_jobs).configs())
     return plan_units(configs)
 
 
@@ -339,3 +368,185 @@ def _run_pool(
     # deterministic regardless of completion order.
     for config in pending:
         note(config, outcomes[config], "simulated")
+
+
+# --------------------------------------------------------------------- #
+# Distributed, lock-safe sweep execution (work stealing over the store) #
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class WorkerReport:
+    """What one worker did while draining a sweep."""
+
+    owner: str
+    #: labels of the units this worker simulated, in execution order
+    simulated: List[str] = field(default_factory=list)
+    #: units somebody else had already finished when we reached them
+    store_hits: int = 0
+    #: claim attempts lost to a live claim of another worker
+    claim_conflicts: int = 0
+    #: stale locks this worker took over
+    stale_takeovers: int = 0
+    #: wall-clock seconds spent draining
+    wall_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "owner": self.owner,
+            "simulated": list(self.simulated),
+            "store_hits": self.store_hits,
+            "claim_conflicts": self.claim_conflicts,
+            "stale_takeovers": self.stale_takeovers,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkerReport":
+        return cls(
+            owner=data["owner"],
+            simulated=list(data["simulated"]),
+            store_hits=int(data["store_hits"]),
+            claim_conflicts=int(data["claim_conflicts"]),
+            stale_takeovers=int(data["stale_takeovers"]),
+            wall_s=float(data["wall_s"]),
+        )
+
+
+def drain_units(
+    units: Sequence[ExperimentConfig],
+    store: ResultStore,
+    *,
+    owner: Optional[str] = None,
+    stale_after: float = DEFAULT_STALE_LOCK_SECONDS,
+    poll_interval: float = 0.5,
+    progress: Optional[Callable[[ExperimentConfig, str], None]] = None,
+) -> WorkerReport:
+    """Work-stealing drain of a sweep's unit list against a shared store.
+
+    Every participating worker — other processes on this machine, or other
+    hosts pointed at the same store directory — runs this same loop over
+    the same deterministic unit list:
+
+    1. a unit whose result is already stored is done — skip it;
+    2. otherwise try to **claim** it (advisory lock file, atomic create);
+       the winner simulates, publishes the result, and releases;
+    3. a unit claimed by someone else is deferred and revisited later; if
+       its claim outlives ``stale_after`` seconds it is presumed dead and
+       taken over, so a crashed worker never strands the sweep.
+
+    The loop returns when every unit has a stored result, which makes the
+    protocol free of both duplication (claims are exclusive) and loss
+    (results are published atomically before release).  Each worker starts
+    at a different offset of the list — derived from its ``owner``
+    identity — so concurrent workers mostly claim disjoint slices and
+    steal from each other only at the end.
+
+    ``progress`` is invoked as ``progress(config, source)`` with source in
+    ``{"store", "simulated"}``.
+    """
+    owner = owner or default_owner()
+    report = WorkerReport(owner=owner)
+    started = _time.perf_counter()
+    pending: List[ExperimentConfig] = list(units)
+    if pending:
+        offset = zlib.crc32(owner.encode("utf-8")) % len(pending)
+        pending = pending[offset:] + pending[:offset]
+    conflicts_before = store.stats.claim_conflicts
+    takeovers_before = store.stats.stale_takeovers
+    while pending:
+        progressed = False
+        deferred: List[ExperimentConfig] = []
+        for config in pending:
+            # Existence is not enough: a document from another schema
+            # version reads as a miss, so the sweep would not actually be
+            # drained for the report pass that follows.
+            if store.result_is_current(config):
+                report.store_hits += 1
+                if progress is not None:
+                    progress(config, "store")
+                progressed = True
+                continue
+            if not store.try_claim(config, owner=owner, stale_after=stale_after):
+                deferred.append(config)  # live claim elsewhere: revisit
+                continue
+            try:
+                # The claim may have been won a heartbeat after the
+                # previous holder published its result and released.
+                if store.result_is_current(config):
+                    report.store_hits += 1
+                    if progress is not None:
+                        progress(config, "store")
+                else:
+                    result = execute_config(config)
+                    store.put_result(config, result)
+                    report.simulated.append(config.label())
+                    if progress is not None:
+                        progress(config, "simulated")
+            finally:
+                store.release(config)
+            progressed = True
+        pending = deferred
+        if pending and not progressed:
+            _time.sleep(poll_interval)
+    report.claim_conflicts = store.stats.claim_conflicts - conflicts_before
+    report.stale_takeovers = store.stats.stale_takeovers - takeovers_before
+    report.wall_s = _time.perf_counter() - started
+    return report
+
+
+def _sweep_worker(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Executed in a worker process: drain one sweep against the store."""
+    store = ResultStore(payload["store"], compress_threshold=payload["compress_threshold"])
+    units = [ExperimentConfig.from_dict(data) for data in payload["units"]]
+    report = drain_units(
+        units,
+        store,
+        stale_after=payload["stale_after"],
+        poll_interval=payload["poll_interval"],
+    )
+    return report.to_dict()
+
+
+def run_distributed_sweep(
+    configs: Sequence[ExperimentConfig],
+    store: ResultStore,
+    *,
+    workers: Optional[int] = None,
+    stale_after: float = DEFAULT_STALE_LOCK_SECONDS,
+    poll_interval: float = 0.5,
+    progress: Optional[Callable[[ExperimentConfig, str], None]] = None,
+) -> List[WorkerReport]:
+    """Drain a sweep with ``workers`` concurrent claim-loop processes.
+
+    ``workers`` of ``None``, 0 or 1 drains in-process.  Unlike
+    :func:`run_campaign`'s pool path — which partitions the pending set up
+    front — every worker here runs the full work-stealing loop, so the
+    same invocation cooperates transparently with workers started on other
+    machines against the same store directory.  Simulation outcomes are
+    deterministic per configuration, hence the store contents are
+    byte-identical to a serial drain no matter how the units were split.
+
+    ``progress`` only applies to the in-process path: pool workers are
+    separate processes and callbacks cannot cross that boundary.
+    """
+    units = plan_units(configs)
+    if workers is None or workers <= 1:
+        return [
+            drain_units(
+                units,
+                store,
+                stale_after=stale_after,
+                poll_interval=poll_interval,
+                progress=progress,
+            )
+        ]
+    payload = {
+        "store": str(store.root),
+        "compress_threshold": store.compress_threshold,
+        "units": [config.to_dict() for config in units],
+        "stale_after": stale_after,
+        "poll_interval": poll_interval,
+    }
+    count = min(workers, max(1, len(units)))
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        futures = [pool.submit(_sweep_worker, payload) for _ in range(count)]
+        return [WorkerReport.from_dict(future.result()) for future in futures]

@@ -17,7 +17,10 @@ load of each scenario.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # runtime import would be circular (sweeps -> config)
+    from repro.experiments.sweeps import SweepSpec
 
 from repro.core.heuristics import HEURISTIC_NAMES
 from repro.workload.scenarios import SCENARIO_NAMES, get_scenario
@@ -27,6 +30,17 @@ DEFAULT_BENCH_TARGET_JOBS = 300
 
 #: Batch policies compared by the paper (rows of every table).
 BATCH_POLICIES: Tuple[str, ...] = ("fcfs", "cbf")
+
+#: Online mapping policies of the meta-scheduler.  Mirrors
+#: :class:`repro.grid.metascheduler.MappingPolicy` (importing the enum
+#: here would be circular); a test cross-checks the two stay in sync.
+MAPPING_POLICY_NAMES: Tuple[str, ...] = (
+    "mct",
+    "random",
+    "round_robin",
+    "less_jobs_in_queue",
+    "less_work_left",
+)
 
 
 def bench_scale(scenario_name: str, target_jobs: int = DEFAULT_BENCH_TARGET_JOBS) -> float:
@@ -110,6 +124,11 @@ class ExperimentConfig:
             )
         if self.scale <= 0 or self.scale > 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if self.mapping_policy not in MAPPING_POLICY_NAMES:
+            raise ValueError(
+                f"unknown mapping policy {self.mapping_policy!r}; "
+                f"expected one of {MAPPING_POLICY_NAMES}"
+            )
 
     @property
     def is_baseline(self) -> bool:
@@ -200,25 +219,30 @@ class SweepConfig:
                 f"algorithm must be 'standard' or 'cancellation', got {self.algorithm!r}"
             )
 
+    def to_spec(self) -> "SweepSpec":
+        """This sweep as a declarative :class:`~repro.experiments.sweeps.SweepSpec`.
+
+        The spec's fixed expansion order (scenario, then batch policy,
+        then heuristic, with every other axis a singleton) reproduces the
+        historical ``configs()`` order exactly.
+        """
+        from repro.experiments.sweeps import SweepSpec  # circular at import time
+
+        flavour = "heterogeneous" if self.heterogeneous else "homogeneous"
+        return SweepSpec(
+            name=f"paper-{self.algorithm}-{flavour}",
+            scenarios=self.scenarios,
+            platforms=(self.heterogeneous,),
+            batch_policies=self.batch_policies,
+            algorithms=(self.algorithm,),
+            heuristics=self.heuristics,
+            reallocation_periods=(self.reallocation_period,),
+            reallocation_thresholds=(self.reallocation_threshold,),
+            mapping_policies=(self.mapping_policy,),
+            target_jobs=self.target_jobs,
+            seed=self.seed,
+        )
+
     def configs(self) -> list[ExperimentConfig]:
         """Every reallocation configuration of the sweep."""
-        result = []
-        for scenario in self.scenarios:
-            scale = bench_scale(scenario, self.target_jobs)
-            for policy in self.batch_policies:
-                for heuristic in self.heuristics:
-                    result.append(
-                        ExperimentConfig(
-                            scenario=scenario,
-                            heterogeneous=self.heterogeneous,
-                            batch_policy=policy,
-                            algorithm=self.algorithm,
-                            heuristic=heuristic,
-                            scale=scale,
-                            seed=self.seed,
-                            reallocation_period=self.reallocation_period,
-                            reallocation_threshold=self.reallocation_threshold,
-                            mapping_policy=self.mapping_policy,
-                        )
-                    )
-        return result
+        return self.to_spec().configs()

@@ -12,7 +12,13 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.heuristics import HEURISTIC_LABELS
 from repro.experiments.figures import Figure1Result, Figure2Result, GanttSnapshot
-from repro.experiments.tables import ComparisonSummary, TableResult
+from repro.experiments.tables import (
+    METRIC_TITLES,
+    ComparisonSummary,
+    SweepReport,
+    SweepReportCell,
+    TableResult,
+)
 
 
 def _format_value(value: float, decimals: int) -> str:
@@ -111,6 +117,53 @@ def render_figure2(figure: Figure2Result, max_rows: int = 10) -> str:
     lines.append(f"{'delayed jobs':>15s}: {len(figure.delayed)}")
     for delta in figure.delayed[:max_rows]:
         lines.append(f"    job {delta.job_id:>6d}  {delta.delta:>+10.0f} s")
+    return "\n".join(lines)
+
+
+def _format_coord(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _cell_label(cell: SweepReportCell, grid_axes: Sequence[str]) -> str:
+    """Config label plus the grid coordinates the label does not show."""
+    extras = [
+        f"{axis}={_format_coord(cell.coords[axis])}"
+        for axis in grid_axes
+        if axis
+        in ("reallocation_period", "reallocation_threshold", "mapping_policy", "trace_fraction")
+    ]
+    label = cell.config.label()
+    return f"{label} [{', '.join(extras)}]" if extras else label
+
+
+def render_sweep_report(report: SweepReport, top: int = 5, decimals: int = 3) -> str:
+    """Render a :class:`SweepReport`: ranked best cells + per-axis marginals."""
+    direction = "lower is better" if report.lower_is_better else "higher is better"
+    grid_axes = list(report.marginals)
+    lines = [
+        f"Sweep {report.sweep!r}: {METRIC_TITLES[report.metric]} "
+        f"({direction}, {len(report.cells)} cells)"
+    ]
+    lines.append("-" * len(lines[0]))
+    shown = report.cells[: max(top, 1)]
+    lines.append(f"Best cells (top {len(shown)}):")
+    for rank, cell in enumerate(shown, start=1):
+        lines.append(
+            f"  {rank:>2d}. {_format_value(cell.value, decimals):>10s}  "
+            f"{_cell_label(cell, grid_axes)}"
+        )
+    if report.marginals:
+        lines.append("")
+        lines.append("Per-axis marginals (mean over all cells sharing the value):")
+        for axis, rows in report.marginals.items():
+            parts = ", ".join(
+                f"{_format_coord(coordinate)} -> {_format_value(mean, decimals)} "
+                f"({count} cells)"
+                for coordinate, mean, count in rows
+            )
+            lines.append(f"  {axis}: {parts}")
     return "\n".join(lines)
 
 

@@ -11,17 +11,18 @@ so reports can show paper-vs-measured side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.heuristics import HEURISTIC_LABELS
 from repro.core.metrics import ComparisonMetrics
-from repro.experiments.config import bench_scale
+from repro.experiments.config import ExperimentConfig, bench_scale
 from repro.experiments.paper_data import (
     HEADLINE_CLAIM,
     REALLOCATION_COUNT_SUMMARY,
     paper_avg,
 )
 from repro.experiments.runner import SweepResult
+from repro.experiments.sweeps import SweepSpec
 from repro.platform.catalog import platform_for_scenario
 from repro.workload.scenarios import SCENARIO_NAMES, get_scenario, table1_counts
 
@@ -90,12 +91,18 @@ class TableResult:
 # --------------------------------------------------------------------- #
 # Generic metric-table builder                                          #
 # --------------------------------------------------------------------- #
-_METRIC_TITLES = {
+#: Metric name -> table title.  The keys are the canonical metric names
+#: accepted by :func:`build_metric_table`, :func:`build_sweep_report` and
+#: the CLI's ``--metric`` option.
+METRIC_TITLES: Dict[str, str] = {
     "impacted": "Percentage of jobs whose completion time changed",
     "reallocations": "Number of reallocations",
     "early": "Percentage of jobs finishing earlier with reallocation",
     "response": "Relative average response time",
 }
+
+#: The paper's four comparison metrics, in table order.
+METRIC_NAMES: Tuple[str, ...] = tuple(METRIC_TITLES)
 
 
 def _metric_value(metrics: ComparisonMetrics, metric: str) -> float:
@@ -112,8 +119,8 @@ def _metric_value(metrics: ComparisonMetrics, metric: str) -> float:
 
 def build_metric_table(sweep: SweepResult, metric: str) -> TableResult:
     """Build one of the paper's metric tables from a sweep result."""
-    if metric not in _METRIC_TITLES:
-        raise ValueError(f"unknown metric {metric!r}; expected one of {sorted(_METRIC_TITLES)}")
+    if metric not in METRIC_TITLES:
+        raise ValueError(f"unknown metric {metric!r}; expected one of {sorted(METRIC_TITLES)}")
     config = sweep.config
     with_avg = metric != "reallocations"
     scenarios = tuple(config.scenarios)
@@ -122,7 +129,7 @@ def build_metric_table(sweep: SweepResult, metric: str) -> TableResult:
 
     suffix = "-C" if config.algorithm == "cancellation" else ""
     flavour = "heterogeneous" if config.heterogeneous else "homogeneous"
-    title = f"{_METRIC_TITLES[metric]} ({flavour} platforms, heuristics{suffix})"
+    title = f"{METRIC_TITLES[metric]} ({flavour} platforms, heuristics{suffix})"
 
     rows: List[TableRow] = []
     for policy in config.batch_policies:
@@ -174,6 +181,94 @@ def table_early(sweep: SweepResult) -> TableResult:
 def table_response(sweep: SweepResult) -> TableResult:
     """Tables 8, 9, 16, 17: relative average response time of impacted jobs."""
     return build_metric_table(sweep, "response")
+
+
+# --------------------------------------------------------------------- #
+# Sweep reports: best cells and per-axis marginals                      #
+# --------------------------------------------------------------------- #
+#: Metrics whose smaller values are the better ones in a sweep report.
+_LOWER_IS_BETTER = frozenset({"response", "reallocations"})
+
+
+@dataclass(frozen=True, slots=True)
+class SweepReportCell:
+    """One evaluated cell of a sweep report."""
+
+    config: ExperimentConfig
+    #: axis name -> coordinate of this cell, as emitted by the expansion
+    coords: Dict[str, Any]
+    value: float
+
+
+@dataclass(slots=True)
+class SweepReport:
+    """Ranked view of one metric over a whole declarative sweep.
+
+    ``cells`` is sorted best-first; ``marginals`` maps every *varying*
+    axis to ``(coordinate, mean value, cell count)`` triples in the axis's
+    declared value order, so a parameter grid reads as "how does the
+    metric react along each knob, everything else averaged out".
+    """
+
+    sweep: str
+    metric: str
+    lower_is_better: bool
+    cells: List[SweepReportCell] = field(default_factory=list)
+    marginals: Dict[str, List[Tuple[Any, float, int]]] = field(default_factory=dict)
+
+    @property
+    def best(self) -> SweepReportCell:
+        """The winning cell of the sweep."""
+        if not self.cells:
+            raise ValueError("cannot rank an empty sweep report")
+        return self.cells[0]
+
+
+def build_sweep_report(
+    spec: SweepSpec,
+    metrics: Mapping[ExperimentConfig, ComparisonMetrics],
+    metric: str = "response",
+) -> SweepReport:
+    """Rank the cells of ``spec`` and derive per-axis marginal means.
+
+    ``metrics`` must hold an entry for every cell of the sweep (the
+    campaign engine guarantees that after a drain).  Ranking direction
+    follows the metric: relative response time and reallocation counts
+    rank ascending, the two percentage metrics descending.  Ties break on
+    the configuration label, so the report is deterministic.
+    """
+    if metric not in METRIC_TITLES:
+        raise ValueError(f"unknown metric {metric!r}; expected one of {sorted(METRIC_TITLES)}")
+    lower = metric in _LOWER_IS_BETTER
+    cells: List[SweepReportCell] = []
+    for config, coords in spec.cells():
+        cell_metrics = metrics.get(config)
+        if cell_metrics is None:
+            raise KeyError(f"sweep {spec.name!r}: no metrics for cell {config.label()}")
+        cells.append(
+            SweepReportCell(
+                config=config, coords=coords, value=_metric_value(cell_metrics, metric)
+            )
+        )
+    cells.sort(key=lambda c: (c.value if lower else -c.value, c.config.label()))
+
+    marginals: Dict[str, List[Tuple[Any, float, int]]] = {}
+    for axis, values in spec.varying_axes().items():
+        rows: List[Tuple[Any, float, int]] = []
+        for value in values:
+            coordinate = (
+                ("heterogeneous" if value else "homogeneous")
+                if axis == "platform"
+                else value
+            )
+            members = [c.value for c in cells if c.coords[axis] == coordinate]
+            if members:
+                rows.append((coordinate, sum(members) / len(members), len(members)))
+        marginals[axis] = rows
+    return SweepReport(
+        sweep=spec.name, metric=metric, lower_is_better=lower, cells=cells,
+        marginals=marginals,
+    )
 
 
 # --------------------------------------------------------------------- #

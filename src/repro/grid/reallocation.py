@@ -87,6 +87,25 @@ class _EstimateTable:
         self._ects[job.job_id] = ects
         self._current[job.job_id] = (current_cluster, current_ect)
 
+    def add_cancelled(self, job: Job, origin: str) -> None:
+        """Register a just-cancelled candidate (Algorithm 2 path).
+
+        A cancelled job no longer occupies a queue slot anywhere, so its
+        "current" ECT *is* the estimate of resubmitting it to the cluster
+        it came from — which :meth:`add` would compute a second time after
+        the caller pre-computed it for the ``current_ect`` argument.
+        Building the tick's table directly from the cancelled set computes
+        every (job, cluster) estimate exactly once.
+        """
+        ects: Dict[str, float] = {
+            name: server.estimate_completion(job)
+            for name, server in self._servers.items()
+            if server.fits(job)
+        }
+        self._jobs[job.job_id] = job
+        self._ects[job.job_id] = ects
+        self._current[job.job_id] = (origin, ects.get(origin, math.inf))
+
     def discard(self, job_id: int) -> None:
         """Remove a candidate from the table."""
         self._jobs.pop(job_id, None)
@@ -289,12 +308,13 @@ class ReallocationAgent:
             self._servers_by_name[job.cluster].cancel(job)
             cancelled.append(job)
 
+        # One table serves the whole tick: every (job, cluster) estimate of
+        # the cancelled set is computed exactly once here, then only the
+        # clusters touched by a resubmission are refreshed.
         table = _EstimateTable(self.servers)
         remaining: Dict[int, Job] = {}
         for job in cancelled:
-            origin = previous_cluster[job.job_id]
-            origin_ect = self._servers_by_name[origin].estimate_completion(job)
-            table.add(job, origin, origin_ect)
+            table.add_cancelled(job, previous_cluster[job.job_id])
             remaining[job.job_id] = job
 
         while remaining:

@@ -10,23 +10,33 @@ table of the paper with zero re-simulations.
 
 * :func:`config_key` — stable content hash of a configuration.
 * :class:`ResultStore` — load/save/invalidate of run results and
-  comparison metrics, with schema versioning and corrupted-file recovery.
+  comparison metrics, with schema versioning, corrupted-file recovery,
+  transparent gzip compression of large documents, and advisory
+  claim/release locks for concurrent writers sharing one directory.
 * :data:`SCHEMA_VERSION` — bumped whenever the serialized layout of
   :class:`~repro.core.results.RunResult` or
   :class:`~repro.core.metrics.ComparisonMetrics` changes; documents
   written under another version are treated as misses and dropped.
+* :data:`DEFAULT_STALE_LOCK_SECONDS` / :data:`DEFAULT_COMPRESS_THRESHOLD`
+  — tuning knobs of the lock takeover and compression policies.
 """
 
 from repro.store.filestore import (
+    DEFAULT_COMPRESS_THRESHOLD,
+    DEFAULT_STALE_LOCK_SECONDS,
     SCHEMA_VERSION,
     ResultStore,
     StoreStats,
     config_key,
+    default_owner,
 )
 
 __all__ = [
+    "DEFAULT_COMPRESS_THRESHOLD",
+    "DEFAULT_STALE_LOCK_SECONDS",
     "SCHEMA_VERSION",
     "ResultStore",
     "StoreStats",
     "config_key",
+    "default_owner",
 ]

@@ -1,10 +1,12 @@
-"""On-disk result store (stdlib-JSON, content-addressed).
+"""On-disk result store (stdlib-JSON, content-addressed, multi-writer safe).
 
 Layout::
 
     <root>/
-        results/<hh>/<hash>.json    one RunResult per simulated experiment
-        metrics/<hh>/<hash>.json    one ComparisonMetrics per realloc config
+        results/<hh>/<hash>.json     one RunResult per simulated experiment
+        results/<hh>/<hash>.json.gz  ... gzip-compressed above a size threshold
+        metrics/<hh>/<hash>.json     one ComparisonMetrics per realloc config
+        locks/<hh>/<hash>.lock       advisory claim of one in-flight simulation
 
 ``<hash>`` is :func:`config_key` — a SHA-256 over the canonical JSON form
 of the :class:`~repro.experiments.config.ExperimentConfig` — and ``<hh>``
@@ -15,15 +17,40 @@ a different version, or one that fails to parse, silently degrades to a
 cache miss: the offending file is deleted and the caller re-simulates.
 Writes are atomic (temp file + ``os.replace``) so a crashed or killed
 campaign never leaves a truncated document a later run would trip over.
+
+Documents whose serialized form exceeds ``compress_threshold`` bytes are
+written gzip-compressed (``.json.gz``, with a zeroed gzip mtime so the
+bytes are a pure function of the content); both formats are read
+transparently and at most one of the two files exists per key.
+
+Concurrent writers — several processes, or several hosts sharing the store
+directory — coordinate through *advisory lock files*:
+
+* :meth:`ResultStore.try_claim` atomically creates
+  ``locks/<hh>/<hash>.lock`` (``O_CREAT | O_EXCL``); exactly one claimant
+  wins, everyone else sees the configuration as taken;
+* a claim older than ``stale_after`` seconds is presumed dead (crashed or
+  unplugged worker) and may be taken over: the stale file is atomically
+  renamed away — only one stealer wins the rename — and the claim race
+  restarts;
+* :meth:`ResultStore.release` removes the lock only if this store
+  instance still owns it (a takeover may have transferred ownership).
+
+The locks are advisory: readers never consult them, and a finished result
+is always published atomically regardless of who holds the claim.
 """
 
 from __future__ import annotations
 
+import gzip
 import hashlib
+import itertools
 import json
 import os
 import shutil
+import socket
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Tuple, Union
@@ -39,8 +66,16 @@ if TYPE_CHECKING:  # runtime import would be circular (experiments -> store)
 #: documents with any other version are invalidated on load.
 SCHEMA_VERSION = 1
 
+#: Documents at least this many serialized bytes are written ``.json.gz``.
+DEFAULT_COMPRESS_THRESHOLD = 64 * 1024
+
+#: Claims older than this many seconds are presumed dead and may be stolen.
+DEFAULT_STALE_LOCK_SECONDS = 1800.0
+
 _RESULT_KIND = "run_result"
 _METRICS_KIND = "comparison_metrics"
+
+_claim_counter = itertools.count(1)
 
 
 def config_key(config: ExperimentConfig) -> str:
@@ -56,6 +91,11 @@ def config_key(config: ExperimentConfig) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def default_owner() -> str:
+    """Identity of this process as recorded in claim documents."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
 @dataclass(slots=True)
 class StoreStats:
     """Counters of one :class:`ResultStore` instance (not persisted)."""
@@ -67,6 +107,12 @@ class StoreStats:
     version_dropped: int = 0
     #: documents dropped because they could not be parsed
     corrupt_dropped: int = 0
+    #: configurations successfully claimed by this instance
+    claims: int = 0
+    #: claim attempts lost to another live claimant
+    claim_conflicts: int = 0
+    #: stale locks this instance renamed away before re-racing the claim
+    stale_takeovers: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -75,6 +121,9 @@ class StoreStats:
             "writes": self.writes,
             "version_dropped": self.version_dropped,
             "corrupt_dropped": self.corrupt_dropped,
+            "claims": self.claims,
+            "claim_conflicts": self.claim_conflicts,
+            "stale_takeovers": self.stale_takeovers,
         }
 
 
@@ -85,6 +134,10 @@ class ResultStore:
     ----------
     root:
         Directory holding the store; created on first write.
+    compress_threshold:
+        Serialized documents at least this many bytes are stored
+        gzip-compressed.  0 compresses everything; ``None`` disables
+        compression.  Reading is format-agnostic either way.
 
     Examples
     --------
@@ -94,9 +147,16 @@ class ResultStore:
     True
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        compress_threshold: Optional[int] = DEFAULT_COMPRESS_THRESHOLD,
+    ) -> None:
         self.root = Path(root)
+        self.compress_threshold = compress_threshold
         self.stats = StoreStats()
+        #: config key -> claim token owned by this instance
+        self._claims: Dict[str, str] = {}
 
     # ------------------------------------------------------------------ #
     # Paths                                                              #
@@ -105,12 +165,25 @@ class ResultStore:
         return self.root / namespace / key[:2] / f"{key}.json"
 
     def result_path(self, config: ExperimentConfig) -> Path:
-        """File that holds (or would hold) the run result of ``config``."""
+        """File that holds (or would hold) the run result of ``config``.
+
+        The uncompressed location; a large document actually lives at this
+        path plus a ``.gz`` suffix (see :meth:`put_result`).
+        """
         return self._path("results", config_key(config))
 
     def metrics_path(self, config: ExperimentConfig) -> Path:
         """File that holds (or would hold) the metrics of ``config``."""
         return self._path("metrics", config_key(config))
+
+    def lock_path(self, config: ExperimentConfig) -> Path:
+        """Advisory lock file guarding the simulation of ``config``."""
+        key = config_key(config)
+        return self.root / "locks" / key[:2] / f"{key}.lock"
+
+    @staticmethod
+    def _gz(path: Path) -> Path:
+        return path.with_name(path.name + ".gz")
 
     # ------------------------------------------------------------------ #
     # Run results                                                        #
@@ -125,6 +198,37 @@ class ResultStore:
     def put_result(self, config: ExperimentConfig, result: RunResult) -> Path:
         """Persist ``result`` under the key of ``config``."""
         return self._save(self.result_path(config), _RESULT_KIND, config, result.to_dict())
+
+    def has_result(self, config: ExperimentConfig) -> bool:
+        """Cheap existence test — no document is read or validated."""
+        path = self.result_path(config)
+        return path.exists() or self._gz(path).exists()
+
+    def result_is_current(self, config: ExperimentConfig) -> bool:
+        """True when a stored result exists *and* carries the current schema.
+
+        A header sniff, not a load: documents serialize with ``schema``
+        and ``kind`` as their first two keys, so reading a few dozen
+        bytes (transparently decompressed for ``.json.gz``) distinguishes
+        a current document from one a reader would drop — without
+        hydrating a payload that may hold 100k+ job records.  Used by the
+        distributed drain loop, where trusting bare file existence would
+        let a worker fleet declare a stale store "drained".
+        """
+        prefix = f'{{"schema":{SCHEMA_VERSION},"kind":"{_RESULT_KIND}"'.encode("ascii")
+        path = self.result_path(config)
+        try:
+            with path.open("rb") as handle:
+                return handle.read(len(prefix)) == prefix
+        except FileNotFoundError:
+            pass
+        except OSError:
+            return False
+        try:
+            with gzip.open(self._gz(path), "rb") as handle:
+                return handle.read(len(prefix)) == prefix
+        except (OSError, EOFError, ValueError):
+            return False
 
     # ------------------------------------------------------------------ #
     # Comparison metrics                                                 #
@@ -142,23 +246,158 @@ class ResultStore:
             self.metrics_path(config), _METRICS_KIND, config, metrics.to_dict()
         )
 
+    def has_metrics(self, config: ExperimentConfig) -> bool:
+        """Cheap existence test for the metrics document of ``config``."""
+        path = self.metrics_path(config)
+        return path.exists() or self._gz(path).exists()
+
+    # ------------------------------------------------------------------ #
+    # Claims (advisory locks for concurrent writers)                     #
+    # ------------------------------------------------------------------ #
+    def try_claim(
+        self,
+        config: ExperimentConfig,
+        owner: Optional[str] = None,
+        stale_after: float = DEFAULT_STALE_LOCK_SECONDS,
+    ) -> bool:
+        """Atomically claim the right to simulate ``config``.
+
+        Returns True when this instance now holds the claim.  A live
+        claim by someone else fails the attempt; a claim older than
+        ``stale_after`` seconds is stolen (renamed away) and the creation
+        race restarts, so at most one of the competing stealers wins.
+        """
+        path = self.lock_path(config)
+        owner = owner or default_owner()
+        token = f"{owner}#{next(_claim_counter)}"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for attempt in range(2):
+            try:
+                descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt or not self._steal_stale_lock(path, stale_after):
+                    self.stats.claim_conflicts += 1
+                    return False
+                continue
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "owner": owner,
+                        "token": token,
+                        "claimed_at": time.time(),
+                        "key": path.stem,
+                    },
+                    handle,
+                )
+            self._claims[path.stem] = token
+            self.stats.claims += 1
+            return True
+        return False  # pragma: no cover - loop always returns earlier
+
+    def release(self, config: ExperimentConfig) -> bool:
+        """Release a claim held by this instance.
+
+        Returns True when the lock file was removed.  If the claim was
+        stolen while we worked (the simulation outlived ``stale_after``),
+        the current holder keeps its lock and False is returned — the
+        result itself was already published atomically either way.
+        """
+        path = self.lock_path(config)
+        token = self._claims.pop(path.stem, None)
+        if token is None:
+            return False
+        if self.claim_owner(config, _want_token=token) is None:
+            return False
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def claim_owner(
+        self, config: ExperimentConfig, _want_token: Optional[str] = None
+    ) -> Optional[str]:
+        """Owner string of the current claim on ``config`` (None if free).
+
+        With ``_want_token`` the claim only counts when its token matches
+        (used by :meth:`release` to detect takeovers).
+        """
+        try:
+            with self.lock_path(config).open("r", encoding="utf-8") as handle:
+                claim = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(claim, dict):
+            return None
+        if _want_token is not None and claim.get("token") != _want_token:
+            return None
+        owner = claim.get("owner")
+        return owner if isinstance(owner, str) else None
+
+    def break_claim(self, config: ExperimentConfig) -> bool:
+        """Forcibly remove any claim on ``config``, whoever holds it.
+
+        For a coordinator that *knows* no worker is live — e.g.
+        ``campaign sweep --fresh`` restarting after a crashed run, where
+        waiting ``stale_after`` seconds per orphaned lock would stall the
+        drain.  Breaking the claim of a genuinely live worker merely
+        duplicates deterministic work; results still publish atomically.
+        """
+        try:
+            self.lock_path(config).unlink()
+            return True
+        except OSError:
+            return False
+
+    def _steal_stale_lock(self, path: Path, stale_after: float) -> bool:
+        """True when ``path`` is gone (freed, or renamed away by us)."""
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return True  # released meanwhile: re-race the creation
+        if age < stale_after:
+            return False
+        grave = path.with_name(f"{path.name}.stale-{os.getpid()}-{next(_claim_counter)}")
+        try:
+            os.rename(path, grave)
+        except OSError:
+            return True  # another stealer won the rename: re-race anyway
+        try:
+            grave.unlink()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        self.stats.stale_takeovers += 1
+        return True
+
     # ------------------------------------------------------------------ #
     # Invalidation                                                       #
     # ------------------------------------------------------------------ #
     def invalidate(self, config: ExperimentConfig) -> int:
         """Drop the stored result and metrics of one configuration.
 
-        Returns the number of files removed (0–2).
+        Returns the number of files removed (0–4 counting both formats).
         """
         removed = 0
         for path in (self.result_path(config), self.metrics_path(config)):
             removed += self._drop(path)
+            removed += self._drop(self._gz(path))
         return removed
 
     def clear(self) -> None:
-        """Remove every document of the store (the root itself is kept)."""
-        for namespace in ("results", "metrics"):
+        """Remove every document and lock of the store (the root is kept)."""
+        for namespace in ("results", "metrics", "locks"):
             shutil.rmtree(self.root / namespace, ignore_errors=True)
+        self._claims.clear()
+
+    @staticmethod
+    def _document_key(path: Path) -> str:
+        """Config key of a document file (strips ``.json`` / ``.json.gz``)."""
+        return path.name.split(".", 1)[0]
+
+    def _documents(self) -> Iterable[Path]:
+        for namespace in ("results", "metrics"):
+            yield from self.root.glob(f"{namespace}/??/*.json")
+            yield from self.root.glob(f"{namespace}/??/*.json.gz")
 
     def gc(self, keep_keys: Iterable[str], dry_run: bool = False) -> Tuple[int, int]:
         """Drop every document whose config key is not in ``keep_keys``.
@@ -166,8 +405,9 @@ class ResultStore:
         Used by ``repro store gc --campaign <name>``: the caller computes
         the config keys of every unit of the campaign and the store keeps
         only those (both result and metrics documents share the key of
-        their configuration).  Returns ``(kept, removed)`` document counts;
-        with ``dry_run`` nothing is deleted and ``removed`` counts the
+        their configuration).  Compressed and plain documents are treated
+        alike.  Returns ``(kept, removed)`` document counts; with
+        ``dry_run`` nothing is deleted and ``removed`` counts the
         documents that *would* go.  Sharding directories left empty by the
         sweep are pruned.
         """
@@ -176,8 +416,8 @@ class ResultStore:
         removed = 0
         if not self.root.exists():
             return kept, removed
-        for path in sorted(self.root.glob("*/??/*.json")):
-            if path.stem in keep:
+        for path in sorted(self._documents()):
+            if self._document_key(path) in keep:
                 kept += 1
             elif dry_run:
                 removed += 1
@@ -187,13 +427,26 @@ class ResultStore:
                     path.parent.rmdir()
                 except OSError:
                     pass  # shard still holds surviving documents
+        # Lock files of foreign configurations are orphans by definition
+        # (no unit of this campaign will ever claim or steal them), so the
+        # sweep drops them too; they are bookkeeping, not documents, and
+        # stay out of the returned counts.  Locks of kept keys are left
+        # alone — they may be live claims of a running worker.
+        if not dry_run:
+            for path in sorted(self.root.glob("locks/??/*.lock")):
+                if self._document_key(path) not in keep:
+                    self._drop(path)
+                    try:
+                        path.parent.rmdir()
+                    except OSError:
+                        pass
         return kept, removed
 
     def __len__(self) -> int:
-        """Number of stored documents (results + metrics)."""
+        """Number of stored documents (results + metrics, either format)."""
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/??/*.json"))
+        return sum(1 for _ in self._documents())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore(root={str(self.root)!r}, documents={len(self)})"
@@ -201,28 +454,54 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # Internals                                                          #
     # ------------------------------------------------------------------ #
-    def _load(self, path: Path, kind: str) -> Optional[Any]:
+    def _read_document_bytes(self, path: Path) -> Optional[bytes]:
+        """Raw JSON bytes of the document at ``path`` (either format)."""
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                document = json.load(handle)
+            return path.read_bytes()
         except FileNotFoundError:
+            pass
+        except OSError:
+            # Unreadable (permissions, I/O error on a shared mount):
+            # recover by dropping it, like any other corrupt document.
+            self.stats.corrupt_dropped += 1
+            self._drop(path)
+        gz_path = self._gz(path)
+        try:
+            with gzip.open(gz_path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+        except (OSError, EOFError, ValueError):
+            # Truncated or corrupt gzip container: recover by dropping it.
+            self.stats.corrupt_dropped += 1
+            self._drop(gz_path)
+            return None
+
+    def _load(self, path: Path, kind: str) -> Optional[Any]:
+        raw = self._read_document_bytes(path)
+        if raw is None:
             self.stats.misses += 1
             return None
-        except (OSError, ValueError):
+        try:
+            document = json.loads(raw)
+        except ValueError:
             # Unreadable or truncated document: recover by dropping it.
             self.stats.corrupt_dropped += 1
             self.stats.misses += 1
             self._drop(path)
+            self._drop(self._gz(path))
             return None
         if not isinstance(document, dict) or "payload" not in document:
             self.stats.corrupt_dropped += 1
             self.stats.misses += 1
             self._drop(path)
+            self._drop(self._gz(path))
             return None
         if document.get("schema") != SCHEMA_VERSION or document.get("kind") != kind:
             self.stats.version_dropped += 1
             self.stats.misses += 1
             self._drop(path)
+            self._drop(self._gz(path))
             return None
         self.stats.hits += 1
         return document["payload"]
@@ -241,22 +520,37 @@ class ResultStore:
             "config": config.to_dict(),
             "payload": payload,
         }
+        raw = json.dumps(document, separators=(",", ":"), allow_nan=False).encode("utf-8")
+        compress = (
+            self.compress_threshold is not None and len(raw) >= self.compress_threshold
+        )
+        if compress:
+            # mtime=0 keeps the compressed bytes a pure function of the
+            # content, so concurrent and serial campaigns produce
+            # byte-identical stores.
+            raw = gzip.compress(raw, mtime=0)
+            target, other = self._gz(path), path
+        else:
+            target, other = path, self._gz(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem, suffix=".tmp"
         )
         try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, separators=(",", ":"), allow_nan=False)
-            os.replace(tmp_name, path)
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(raw)
+            os.replace(tmp_name, target)
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
+        # A document that changed size class leaves no twin in the other
+        # format behind.
+        self._drop(other)
         self.stats.writes += 1
-        return path
+        return target
 
     @staticmethod
     def _drop(path: Path) -> int:

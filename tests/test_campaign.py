@@ -6,9 +6,12 @@ import pytest
 
 from repro.experiments.campaign import (
     clear_trace_cache,
+    drain_units,
     execute_config,
+    fresh_workload,
     plan_units,
     run_campaign,
+    trace_cache_stats,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentRunner
@@ -164,6 +167,97 @@ class TestRunCampaign:
             configs, store=store, progress=lambda c, r, source: seen.append(source)
         )
         assert seen == []
+
+
+class TestTraceCache:
+    def test_one_synthesis_per_shared_workload(self):
+        # Baseline + three heuristics + a different threshold: five
+        # simulations, one workload synthesis.
+        configs = [config(heuristic=h) for h in ("mct", "minmin", "maxmin")]
+        configs.append(config(reallocation_threshold=0.0))
+        run_campaign(configs)
+        stats = trace_cache_stats()
+        assert stats.synthesized == 1
+        assert stats.hits == len(plan_units(configs)) - 1
+
+    def test_distinct_workload_keys_synthesize_separately(self):
+        fresh_workload(config())
+        fresh_workload(config(scale=2 * SMALL_SCALE))
+        fresh_workload(config(heterogeneous=True))
+        assert trace_cache_stats().synthesized == 3
+
+    def test_drain_pays_synthesis_once_per_worker_process(self, tmp_path):
+        # The claim loop of a campaign worker funnels every simulation
+        # through the same process-local template cache.
+        store = ResultStore(tmp_path / "store")
+        units = plan_units([config(heuristic=h) for h in ("mct", "minmin")])
+        report = drain_units(units, store)
+        assert len(report.simulated) == len(units)
+        stats = trace_cache_stats()
+        assert stats.synthesized == 1
+        assert stats.hits == len(units) - 1
+
+    def test_clear_resets_counters(self):
+        fresh_workload(config())
+        clear_trace_cache()
+        stats = trace_cache_stats()
+        assert (stats.synthesized, stats.hits) == (0, 0)
+
+
+class TestDrainUnits:
+    def test_drain_simulates_everything_once_and_releases_locks(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        units = plan_units([config(heuristic=h) for h in ("mct", "minmin")])
+        report = drain_units(units, store)
+        assert sorted(report.simulated) == sorted(u.label() for u in units)
+        for unit in units:
+            assert store.has_result(unit)
+            assert store.claim_owner(unit) is None  # released
+
+    def test_drain_matches_run_campaign_results(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cells = [config()]
+        drain_units(plan_units(cells), store)
+        campaign = run_campaign(cells, store=store)
+        assert campaign.stats.simulated == 0
+        direct = run_campaign(cells)
+        for cell in cells:
+            assert campaign.metrics[cell] == direct.metrics[cell]
+
+    def test_drain_progress_sources(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        units = plan_units([config()])
+        seen = []
+        drain_units(units, store, progress=lambda c, source: seen.append(source))
+        assert seen == ["simulated"] * len(units)
+        seen.clear()
+        drain_units(units, store, progress=lambda c, source: seen.append(source))
+        assert seen == ["store"] * len(units)
+
+    def test_drain_of_empty_unit_list(self, tmp_path):
+        report = drain_units([], ResultStore(tmp_path / "store"))
+        assert report.simulated == []
+        assert report.store_hits == 0
+
+    def test_drain_resimulates_stale_schema_documents(self, tmp_path):
+        # A worker must not count documents no reader would accept as
+        # drained units (file existence is not enough).
+        import json
+
+        from repro.store import SCHEMA_VERSION
+
+        store = ResultStore(tmp_path / "store")
+        units = plan_units([config()])
+        drain_units(units, store)
+        for unit in units:
+            path = store.result_path(unit)
+            document = json.loads(path.read_text())
+            document["schema"] = SCHEMA_VERSION + 1
+            path.write_text(json.dumps(document, separators=(",", ":")))
+        report = drain_units(units, store)
+        assert sorted(report.simulated) == sorted(u.label() for u in units)
+        for unit in units:
+            assert store.result_is_current(unit)
 
 
 class TestRunnerFacade:

@@ -142,6 +142,98 @@ class TestStoreGc:
             ])
 
 
+class TestCampaignSweep:
+    def test_list_shows_every_registered_sweep(self, capsys):
+        from repro.experiments.sweeps import SWEEP_NAMES
+
+        assert main(["campaign", "sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SWEEP_NAMES:
+            assert name in out
+        assert "cells" in out
+
+    def test_sweep_requires_a_name_without_list(self):
+        with pytest.raises(SystemExit, match="sweep name"):
+            main(["campaign", "sweep"])
+
+    def test_sweep_runs_and_prints_report(self, tmp_path, capsys):
+        code = main([
+            "campaign", "sweep", "threshold-grid",
+            "--target-jobs", str(TARGET), "--store", str(tmp_path / "store"),
+            "--top", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sweep 'threshold-grid'" in out
+        assert "Best cells (top 3):" in out
+        assert "reallocation_threshold:" in out  # per-axis marginal line
+
+    def test_sweep_ranks_on_the_requested_metric(self, tmp_path, capsys):
+        code = main([
+            "campaign", "sweep", "threshold-grid", "--metric", "reallocations",
+            "--target-jobs", str(TARGET), "--store", str(tmp_path / "store"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Number of reallocations" in out
+
+    def test_warm_sweep_simulates_nothing(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["campaign", "sweep", "threshold-grid",
+                "--target-jobs", str(TARGET), "--store", store]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "cells, 0 simulated" in err
+
+    def test_sweep_without_store_uses_in_memory_engine(self, capsys):
+        code = main([
+            "campaign", "sweep", "threshold-grid",
+            "--target-jobs", str(TARGET), "--no-store",
+        ])
+        assert code == 0
+        assert "Sweep 'threshold-grid'" in capsys.readouterr().out
+
+
+class TestCampaignWorker:
+    def test_worker_drains_a_sweep(self, tmp_path, capsys):
+        code = main([
+            "campaign", "worker", "--sweep", "threshold-grid",
+            "--target-jobs", str(TARGET), "--store", str(tmp_path / "store"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "drained sweep threshold-grid" in out
+        store = ResultStore(tmp_path / "store")
+        assert len(store) > 0
+
+    def test_worker_then_sweep_report_without_resimulation(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "worker", "--sweep", "threshold-grid",
+                     "--target-jobs", str(TARGET), "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "sweep", "threshold-grid",
+                     "--target-jobs", str(TARGET), "--store", store]) == 0
+        captured = capsys.readouterr()
+        assert "Sweep 'threshold-grid'" in captured.out
+        assert "cells, 0 simulated" in captured.err
+
+    def test_worker_rejects_no_store(self):
+        with pytest.raises(SystemExit, match="store"):
+            main(["campaign", "worker", "--sweep", "threshold-grid", "--no-store"])
+
+    def test_worker_rejects_fresh(self, tmp_path):
+        with pytest.raises(SystemExit, match="fresh"):
+            main(["campaign", "worker", "--sweep", "threshold-grid", "--fresh",
+                  "--store", str(tmp_path / "store")])
+
+    def test_worker_rejects_workers_flag(self, tmp_path):
+        with pytest.raises(SystemExit, match="single-process"):
+            main(["campaign", "worker", "--sweep", "threshold-grid",
+                  "--workers", "2", "--store", str(tmp_path / "store")])
+
+
 class TestCampaignConfigs:
     def test_paper_covers_all_four_groups(self):
         paper = campaign_configs("paper", target_jobs=TARGET)

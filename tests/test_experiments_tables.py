@@ -11,11 +11,14 @@ from repro.experiments.paper_data import (
     paper_avg,
     tables_with_avg,
 )
+from repro.experiments.campaign import run_campaign
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweeps import SweepSpec
 from repro.experiments.tables import (
     TABLE_NUMBERS,
     TableResult,
     build_metric_table,
+    build_sweep_report,
     comparison_summary,
     table_early,
     table_impacted,
@@ -169,3 +172,78 @@ class TestComparisonSummary:
         standard, cancellation = small_sweeps
         with pytest.raises(ValueError):
             comparison_summary(cancellation, standard)
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    """A tiny two-axis grid with its computed metrics."""
+    spec = SweepSpec(
+        name="report-grid",
+        scenarios=("jan",),
+        batch_policies=("fcfs",),
+        algorithms=("standard",),
+        heuristics=("mct", "minmin"),
+        reallocation_thresholds=(0.0, 60.0),
+        target_jobs=40,
+    )
+    campaign = run_campaign(spec.configs())
+    return spec, campaign.metrics
+
+
+class TestSweepReport:
+    def test_report_covers_every_cell_ranked(self, small_grid):
+        spec, metrics = small_grid
+        report = build_sweep_report(spec, metrics, metric="response")
+        assert report.sweep == "report-grid"
+        assert report.lower_is_better
+        assert len(report.cells) == len(spec.configs())
+        values = [cell.value for cell in report.cells]
+        assert values == sorted(values)
+        assert report.best.value == min(values)
+
+    def test_percentage_metrics_rank_descending(self, small_grid):
+        spec, metrics = small_grid
+        report = build_sweep_report(spec, metrics, metric="early")
+        assert not report.lower_is_better
+        values = [cell.value for cell in report.cells]
+        assert values == sorted(values, reverse=True)
+
+    def test_marginals_cover_varying_axes_only(self, small_grid):
+        spec, metrics = small_grid
+        report = build_sweep_report(spec, metrics, metric="impacted")
+        assert set(report.marginals) == {"heuristic", "reallocation_threshold"}
+        for axis, rows in report.marginals.items():
+            assert [value for value, _, _ in rows] == list(spec.axes()[axis])
+            assert sum(count for _, _, count in rows) == len(spec.configs())
+
+    def test_marginal_means_are_the_group_averages(self, small_grid):
+        spec, metrics = small_grid
+        report = build_sweep_report(spec, metrics, metric="response")
+        for value, mean, count in report.marginals["heuristic"]:
+            members = [
+                cell.value for cell in report.cells
+                if cell.coords["heuristic"] == value
+            ]
+            assert count == len(members)
+            assert mean == pytest.approx(sum(members) / len(members))
+
+    def test_missing_cell_metrics_raise(self, small_grid):
+        spec, metrics = small_grid
+        with pytest.raises(KeyError, match="no metrics"):
+            build_sweep_report(spec, {}, metric="response")
+
+    def test_unknown_metric_rejected(self, small_grid):
+        spec, metrics = small_grid
+        with pytest.raises(ValueError, match="unknown metric"):
+            build_sweep_report(spec, metrics, metric="nope")
+
+    def test_report_renders(self, small_grid):
+        from repro.experiments.report import render_sweep_report
+
+        spec, metrics = small_grid
+        text = render_sweep_report(
+            build_sweep_report(spec, metrics, metric="response"), top=2
+        )
+        assert "Sweep 'report-grid'" in text
+        assert "Best cells (top 2):" in text
+        assert "reallocation_threshold:" in text

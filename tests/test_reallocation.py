@@ -170,6 +170,31 @@ class TestAlgorithm2:
         assert job_a.state is JobState.COMPLETED
         assert job_b.state is JobState.COMPLETED
 
+    def test_single_pass_table_build_matches_reference(self, kernel):
+        # add_cancelled must materialise exactly the estimates of the
+        # historical build (pre-computed origin ECT + per-cluster add).
+        from repro.grid.reallocation import _EstimateTable
+
+        s1, s2, job_a, job_b = self.build(kernel)
+        servers = [s1, s2]
+        by_name = {server.name: server for server in servers}
+        cancelled = []
+        for job in (job_a, job_b):
+            origin = job.cluster
+            by_name[origin].cancel(job)
+            cancelled.append((job, origin))
+
+        reference = _EstimateTable(servers)
+        single_pass = _EstimateTable(servers)
+        for job, origin in cancelled:
+            reference.add(job, origin, by_name[origin].estimate_completion(job))
+            single_pass.add_cancelled(job, origin)
+        job_ids = [job.job_id for job, _ in cancelled]
+        for left, right in zip(reference.estimates(job_ids), single_pass.estimates(job_ids)):
+            assert left.current_cluster == right.current_cluster
+            assert left.current_ect == right.current_ect
+            assert left.ects == right.ects
+
 
 class TestTickScheduling:
     def test_first_tick_one_period_after_first_submission(self, kernel):

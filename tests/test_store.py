@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import gzip
 import json
+import os
 
 import pytest
 
@@ -235,3 +237,245 @@ class TestGarbageCollection:
         assert len(store) == 0
         # every <hh> shard directory of the dropped documents is gone
         assert not list(store.root.glob("*/??"))
+
+
+class TestCompression:
+    @pytest.fixture
+    def gz_store(self, tmp_path) -> ResultStore:
+        """A store that compresses every document, however small."""
+        return ResultStore(tmp_path / "store", compress_threshold=0)
+
+    def test_round_trip_through_gzip(self, gz_store):
+        config, result = make_config(), make_result()
+        path = gz_store.put_result(config, result)
+        assert path.name.endswith(".json.gz")
+        loaded = gz_store.get_result(config)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_threshold_splits_formats(self, tmp_path):
+        # The metrics document is tiny, the result document is not: with a
+        # threshold between the two sizes only the result is compressed.
+        config, result, metrics = make_config(), make_result(), make_metrics()
+        probe = ResultStore(tmp_path / "probe", compress_threshold=None)
+        result_size = probe.put_result(config, result).stat().st_size
+        metrics_size = probe.put_metrics(config, metrics).stat().st_size
+        assert metrics_size < result_size
+        store = ResultStore(tmp_path / "store", compress_threshold=result_size)
+        assert store.put_result(config, result).name.endswith(".json.gz")
+        assert store.put_metrics(config, metrics).name.endswith(".json")
+        assert store.get_result(config) is not None
+        assert store.get_metrics(config) == metrics
+
+    def test_none_threshold_disables_compression(self, tmp_path):
+        store = ResultStore(tmp_path / "store", compress_threshold=None)
+        path = store.put_result(make_config(), make_result())
+        assert path.name.endswith(".json")
+
+    def test_compressed_bytes_are_deterministic(self, gz_store, tmp_path):
+        other = ResultStore(tmp_path / "other", compress_threshold=0)
+        config, result = make_config(), make_result()
+        first = gz_store.put_result(config, result)
+        second = other.put_result(config, result)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_plain_reader_still_reads_compressed_store(self, gz_store):
+        config, result = make_config(), make_result()
+        gz_store.put_result(config, result)
+        reader = ResultStore(gz_store.root)  # default threshold
+        assert reader.get_result(config) is not None
+        assert reader.has_result(config)
+
+    def test_rewrite_under_other_threshold_leaves_no_twin(self, gz_store):
+        config, result = make_config(), make_result()
+        gz_path = gz_store.put_result(config, result)
+        rewriter = ResultStore(gz_store.root, compress_threshold=None)
+        plain_path = rewriter.put_result(config, result)
+        assert plain_path.exists()
+        assert not gz_path.exists()
+        assert len(gz_store) == 1
+
+    def test_corrupt_gzip_recovers_as_miss(self, gz_store):
+        config = make_config()
+        path = gz_store.put_result(config, make_result())
+        path.write_bytes(path.read_bytes()[:20])  # truncated gzip stream
+        assert gz_store.get_result(config) is None
+        assert gz_store.stats.corrupt_dropped >= 1
+        assert not path.exists()
+
+    def test_truncated_payload_inside_valid_gzip_recovers(self, gz_store):
+        config = make_config()
+        path = gz_store.put_result(config, make_result())
+        raw = gzip.decompress(path.read_bytes())
+        path.write_bytes(gzip.compress(raw[: len(raw) // 2], mtime=0))
+        assert gz_store.get_result(config) is None
+        assert not path.exists()
+
+    def test_gc_and_len_cover_both_formats(self, gz_store):
+        configs = [make_config(seed=20100326 + i) for i in range(3)]
+        for config in configs:
+            gz_store.put_result(config, make_result())
+        plain = ResultStore(gz_store.root, compress_threshold=None)
+        plain.put_metrics(configs[0], make_metrics())
+        assert len(gz_store) == 4
+        kept, removed = gz_store.gc({config_key(configs[0])})
+        assert (kept, removed) == (2, 2)
+
+    def test_invalidate_drops_compressed_documents(self, gz_store):
+        config = make_config()
+        gz_store.put_result(config, make_result())
+        gz_store.put_metrics(config, make_metrics())
+        assert gz_store.invalidate(config) == 2
+        assert len(gz_store) == 0
+
+
+class TestClaims:
+    def test_claim_is_exclusive(self, store):
+        config = make_config()
+        assert store.try_claim(config, owner="a")
+        other = ResultStore(store.root)
+        assert not other.try_claim(config, owner="b")
+        assert other.stats.claim_conflicts == 1
+        assert store.claim_owner(config) == "a"
+
+    def test_release_frees_the_claim(self, store):
+        config = make_config()
+        assert store.try_claim(config, owner="a")
+        assert store.release(config)
+        assert store.claim_owner(config) is None
+        other = ResultStore(store.root)
+        assert other.try_claim(config, owner="b")
+
+    def test_release_without_claim_is_noop(self, store):
+        assert not store.release(make_config())
+
+    def test_release_only_by_the_instance_that_claimed(self, store):
+        config = make_config()
+        assert store.try_claim(config, owner="a")
+        other = ResultStore(store.root)
+        assert not other.release(config)
+        assert store.claim_owner(config) == "a"
+
+    def test_fresh_claim_is_not_stolen(self, store):
+        config = make_config()
+        assert store.try_claim(config, owner="a")
+        other = ResultStore(store.root)
+        assert not other.try_claim(config, owner="b", stale_after=3600.0)
+        assert other.stats.stale_takeovers == 0
+
+    def test_stale_claim_is_taken_over(self, store):
+        config = make_config()
+        assert store.try_claim(config, owner="dead-worker")
+        lock = store.lock_path(config)
+        old = os.stat(lock).st_mtime - 7200.0
+        os.utime(lock, (old, old))
+        other = ResultStore(store.root)
+        assert other.try_claim(config, owner="b", stale_after=3600.0)
+        assert other.stats.stale_takeovers == 1
+        assert other.claim_owner(config) == "b"
+
+    def test_release_after_takeover_keeps_new_owner(self, store):
+        config = make_config()
+        assert store.try_claim(config, owner="a")
+        lock = store.lock_path(config)
+        old = os.stat(lock).st_mtime - 7200.0
+        os.utime(lock, (old, old))
+        other = ResultStore(store.root)
+        assert other.try_claim(config, owner="b", stale_after=3600.0)
+        # the original claimant comes back from the dead and releases
+        assert not store.release(config)
+        assert other.claim_owner(config) == "b"
+
+    def test_unparseable_lock_reads_as_unowned(self, store):
+        config = make_config()
+        assert store.try_claim(config, owner="a")
+        store.lock_path(config).write_text("not json")
+        assert store.claim_owner(config) is None
+
+    def test_locks_do_not_count_as_documents(self, store):
+        config = make_config()
+        store.try_claim(config, owner="a")
+        store.put_result(config, make_result())
+        assert len(store) == 1
+        assert store.gc({config_key(config)}) == (1, 0)
+        assert store.claim_owner(config) == "a"  # gc leaves live claims alone
+
+    def test_gc_drops_locks_of_foreign_configs(self, store):
+        kept, foreign = make_config(), make_config(seed=1)
+        store.try_claim(kept, owner="live")
+        store.try_claim(foreign, owner="orphan")
+        store.put_result(kept, make_result())
+        store.gc({config_key(kept)})
+        # no unit of the campaign will ever claim the foreign config, so
+        # its lock is cruft; the kept config's claim may be live
+        assert store.claim_owner(foreign) is None
+        assert store.claim_owner(kept) == "live"
+
+    def test_gc_dry_run_leaves_foreign_locks(self, store):
+        foreign = make_config(seed=1)
+        store.try_claim(foreign, owner="orphan")
+        store.gc(set(), dry_run=True)
+        assert store.claim_owner(foreign) == "orphan"
+
+    def test_clear_also_drops_locks(self, store):
+        config = make_config()
+        store.try_claim(config, owner="a")
+        store.clear()
+        assert store.claim_owner(config) is None
+
+    def test_has_result_is_format_agnostic(self, store, tmp_path):
+        config = make_config()
+        assert not store.has_result(config)
+        store.put_result(config, make_result())
+        assert store.has_result(config)
+        gz_store = ResultStore(tmp_path / "gz", compress_threshold=0)
+        gz_store.put_result(config, make_result())
+        assert gz_store.has_result(config)
+        assert not gz_store.has_metrics(config)
+
+    def test_break_claim_removes_any_owner(self, store):
+        config = make_config()
+        other = ResultStore(store.root)
+        assert other.try_claim(config, owner="crashed")
+        assert store.break_claim(config)
+        assert store.claim_owner(config) is None
+        assert not store.break_claim(config)  # already free
+
+
+class TestResultIsCurrent:
+    def test_false_when_missing_true_when_stored(self, store):
+        config = make_config()
+        assert not store.result_is_current(config)
+        store.put_result(config, make_result())
+        assert store.result_is_current(config)
+
+    def test_true_through_gzip(self, tmp_path):
+        store = ResultStore(tmp_path / "store", compress_threshold=0)
+        config = make_config()
+        store.put_result(config, make_result())
+        assert store.result_is_current(config)
+
+    def test_false_for_other_schema_version(self, store):
+        config = make_config()
+        path = store.put_result(config, make_result())
+        document = json.loads(path.read_text())
+        document["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document, separators=(",", ":")))
+        assert store.has_result(config)  # the file is there ...
+        assert not store.result_is_current(config)  # ... but no reader takes it
+
+    def test_false_for_wrong_kind(self, store):
+        config = make_config()
+        path = store.put_result(config, make_result())
+        path.write_text(
+            json.dumps({"schema": SCHEMA_VERSION, "kind": "something_else"},
+                       separators=(",", ":"))
+        )
+        assert not store.result_is_current(config)
+
+    def test_false_for_truncated_gzip(self, tmp_path):
+        store = ResultStore(tmp_path / "store", compress_threshold=0)
+        config = make_config()
+        path = store.put_result(config, make_result())
+        path.write_bytes(path.read_bytes()[:10])
+        assert not store.result_is_current(config)

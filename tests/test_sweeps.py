@@ -1,0 +1,173 @@
+"""Tests for declarative sweeps (:mod:`repro.experiments.sweeps`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristics import HEURISTIC_NAMES
+from repro.experiments.campaign import campaign_configs, plan_units
+from repro.experiments.config import (
+    BATCH_POLICIES,
+    MAPPING_POLICY_NAMES,
+    ExperimentConfig,
+    SweepConfig,
+    bench_scale,
+)
+from repro.experiments.sweeps import (
+    SWEEP_NAMES,
+    SWEEP_REGISTRY,
+    SweepSpec,
+    get_sweep,
+    paper_sweep,
+)
+from repro.grid.metascheduler import MappingPolicy
+
+
+def small_spec(**overrides) -> SweepSpec:
+    defaults = dict(
+        name="test-grid",
+        scenarios=("jan",),
+        batch_policies=("fcfs",),
+        algorithms=("standard",),
+        heuristics=("mct",),
+        target_jobs=40,
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestExpansion:
+    def test_cell_count_is_product_of_axes(self):
+        spec = small_spec(
+            heuristics=("mct", "minmin"),
+            reallocation_periods=(1800.0, 3600.0),
+            reallocation_thresholds=(0.0, 60.0, 600.0),
+        )
+        assert len(spec.configs()) == 2 * 2 * 3
+
+    def test_expansion_is_deterministic(self):
+        spec = small_spec(heuristics=("mct", "minmin"), trace_fractions=(0.5, 1.0))
+        assert spec.configs() == spec.configs()
+
+    def test_expansion_order_outer_to_inner(self):
+        spec = small_spec(
+            scenarios=("jan", "feb"), reallocation_periods=(1800.0, 3600.0)
+        )
+        configs = spec.configs()
+        # scenario is the outermost loop, period an inner one
+        assert [c.scenario for c in configs] == ["jan", "jan", "feb", "feb"]
+        assert [c.reallocation_period for c in configs] == [1800.0, 3600.0] * 2
+
+    def test_trace_fraction_scales_the_bench_scale(self):
+        spec = small_spec(trace_fractions=(0.5, 1.0))
+        half, full = spec.configs()
+        base = bench_scale("jan", spec.target_jobs)
+        assert half.scale == base * 0.5
+        assert full.scale == base
+
+    def test_units_share_baselines_across_grid_values(self):
+        spec = small_spec(reallocation_periods=(900.0, 3600.0, 14_400.0))
+        units = spec.units()
+        assert len(spec.configs()) == 3
+        assert sum(1 for unit in units if unit.is_baseline) == 1
+
+    def test_cells_carry_axis_coordinates(self):
+        spec = small_spec(reallocation_thresholds=(0.0, 60.0))
+        for config, coords in spec.cells():
+            assert coords["scenario"] == config.scenario
+            assert coords["reallocation_threshold"] == config.reallocation_threshold
+            assert coords["platform"] == "homogeneous"
+
+    def test_varying_axes_only_lists_grids(self):
+        spec = small_spec(reallocation_periods=(900.0, 3600.0))
+        assert set(spec.varying_axes()) == {"reallocation_period"}
+
+
+class TestValidation:
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            small_spec(heuristics=())
+
+    def test_rejects_duplicate_axis_values(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            small_spec(reallocation_periods=(3600.0, 3600.0))
+
+    def test_rejects_unknown_axis_value(self):
+        with pytest.raises(ValueError, match="unknown"):
+            small_spec(heuristics=("nope",))
+        with pytest.raises(ValueError, match="unknown"):
+            small_spec(mapping_policies=("nope",))
+
+    def test_rejects_bad_trace_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            small_spec(trace_fractions=(0.0,))
+        with pytest.raises(ValueError, match="fraction"):
+            small_spec(trace_fractions=(1.5,))
+
+    def test_rejects_baseline_algorithm_axis(self):
+        with pytest.raises(ValueError):
+            small_spec(algorithms=(None,))
+
+    def test_mapping_policy_names_match_the_enum(self):
+        # config.MAPPING_POLICY_NAMES mirrors the MappingPolicy enum to
+        # avoid a circular import; keep the two in sync.
+        assert set(MAPPING_POLICY_NAMES) == {policy.value for policy in MappingPolicy}
+
+    def test_experiment_config_rejects_unknown_mapping_policy(self):
+        with pytest.raises(ValueError, match="mapping policy"):
+            ExperimentConfig(scenario="jan", mapping_policy="nope")
+
+
+class TestRegistry:
+    def test_names_are_sorted_and_resolve(self):
+        assert list(SWEEP_NAMES) == sorted(SWEEP_NAMES)
+        for name in SWEEP_NAMES:
+            spec = get_sweep(name)
+            assert spec.name == name
+            assert spec.configs()
+
+    def test_get_sweep_rescales_target_jobs(self):
+        spec = get_sweep("threshold-grid", target_jobs=40)
+        assert spec.target_jobs == 40
+        assert all(c.scale == bench_scale(c.scenario, 40) for c in spec.configs())
+
+    def test_get_sweep_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown sweep"):
+            get_sweep("nope")
+
+    def test_registry_grids_vary_their_advertised_axis(self):
+        assert "reallocation_period" in SWEEP_REGISTRY["period-grid"].varying_axes()
+        assert "reallocation_threshold" in SWEEP_REGISTRY["threshold-grid"].varying_axes()
+        assert "mapping_policy" in SWEEP_REGISTRY["mapping-grid"].varying_axes()
+        assert "trace_fraction" in SWEEP_REGISTRY["trace-fraction-grid"].varying_axes()
+
+
+class TestPaperEquivalence:
+    def test_sweep_config_expansion_unchanged(self):
+        """SweepConfig.configs() must reproduce the historical ad-hoc list."""
+        sweep = SweepConfig(algorithm="standard", heterogeneous=True, target_jobs=60)
+        expected = []
+        for scenario in sweep.scenarios:
+            scale = bench_scale(scenario, 60)
+            for policy in BATCH_POLICIES:
+                for heuristic in HEURISTIC_NAMES:
+                    expected.append(
+                        ExperimentConfig(
+                            scenario=scenario,
+                            heterogeneous=True,
+                            batch_policy=policy,
+                            algorithm="standard",
+                            heuristic=heuristic,
+                            scale=scale,
+                        )
+                    )
+        assert sweep.configs() == expected
+
+    def test_paper_sweep_matches_sweep_config(self):
+        spec = paper_sweep("cancellation", False, target_jobs=60)
+        sweep = SweepConfig(algorithm="cancellation", heterogeneous=False, target_jobs=60)
+        assert spec.configs() == sweep.configs()
+
+    def test_campaign_configs_membership_via_sweeps(self):
+        units = campaign_configs("standard-homogeneous", target_jobs=60)
+        assert units == plan_units(paper_sweep("standard", False, 60).configs())
