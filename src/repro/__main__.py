@@ -36,6 +36,10 @@ Usage (installed entry point ``repro`` or ``python -m repro``)::
     python -m repro campaign worker --sweep period-grid --store /mnt/shared/store
     python -m repro campaign sweep period-grid --store /mnt/shared/store
 
+    # Watch the fleet from any host: done / claimed-by-whom / pending
+    # counts plus stale-claim ages, from pure store reads (no locks taken)
+    python -m repro campaign status --sweep period-grid --store /mnt/shared/store
+
     # Drop store documents that belong to no configuration of a campaign
     # (--target-jobs must match the value the campaign was run with)
     python -m repro store gc --campaign paper --target-jobs 300
@@ -61,6 +65,7 @@ from repro.experiments.campaign import (
     plan_units,
     run_campaign,
     run_distributed_sweep,
+    sweep_status,
 )
 from repro.experiments.config import (
     DEFAULT_BENCH_TARGET_JOBS,
@@ -189,6 +194,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds between passes over units claimed "
                              "elsewhere (default %(default)s)")
     _add_common_options(worker)
+
+    status = campaign_commands.add_parser(
+        "status", help="cross-host progress view of one sweep",
+        description="Show the progress of a sweep over a shared store: "
+                    "done / claimed / pending counts, who holds which "
+                    "claim, and the age of each claim's last heartbeat. "
+                    "Read-only and lock-free — safe to poll from any host "
+                    "while workers drain the sweep.")
+    status.add_argument("--sweep", required=True, choices=SWEEP_NAMES,
+                        help="sweep whose units are inspected")
+    status.add_argument("--stale-after", type=float,
+                        default=DEFAULT_STALE_LOCK_SECONDS, metavar="S",
+                        help="heartbeat age above which a claim is flagged "
+                             "stale (default %(default)s)")
+    status.add_argument("--claims", action="store_true",
+                        help="list every claimed unit individually")
+    _add_common_options(status)
 
     store = commands.add_parser(
         "store", help="manage the persistent result store",
@@ -436,6 +458,37 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    if args.no_store:
+        raise SystemExit(
+            "repro: error: campaign status reads a shared store (drop --no-store)"
+        )
+    spec = get_sweep(args.sweep, target_jobs=args.target_jobs)
+    store = _open_store(args)
+    units = plan_units(spec.configs())
+    status = sweep_status(units, store, stale_after=args.stale_after)
+    print(f"sweep {spec.name}: {status.done}/{status.total} done, "
+          f"{status.claimed} claimed, {status.pending} pending "
+          f"(store: {store.root})")
+    for owner, claims in sorted(status.claims_by_owner.items()):
+        ages = [unit.heartbeat_age for unit in claims if unit.heartbeat_age is not None]
+        oldest = f", oldest heartbeat {max(ages):.0f}s ago" if ages else ""
+        print(f"  claimed by {owner}: {len(claims)} unit(s){oldest}")
+        if args.claims:
+            for unit in claims:
+                age = (f"{unit.heartbeat_age:.0f}s"
+                       if unit.heartbeat_age is not None else "?")
+                print(f"    {unit.label} (heartbeat {age} ago)")
+    stale = status.stale_claims
+    if stale:
+        print(f"  stale claims (no heartbeat for {args.stale_after:.0f}s+): "
+              f"{len(stale)} — workers will take these over")
+        for unit in stale:
+            print(f"    {unit.label} held by {unit.owner} "
+                  f"({unit.heartbeat_age:.0f}s ago)")
+    return 0
+
+
 def _cmd_store_gc(args: argparse.Namespace) -> int:
     if args.no_store:
         raise SystemExit("repro: error: store gc needs a store (drop --no-store)")
@@ -509,6 +562,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return _cmd_campaign_sweep(args)
             if args.campaign_command == "worker":
                 return _cmd_campaign_worker(args)
+            if args.campaign_command == "status":
+                return _cmd_campaign_status(args)
             return _cmd_campaign_run(args)
         if args.command == "store":
             return _cmd_store_gc(args)

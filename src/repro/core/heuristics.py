@@ -10,15 +10,32 @@ captured in :class:`JobEstimate`.
 All heuristics are deterministic: ties on the selection criterion are
 broken by the job's submission time and then its id, so experiments are
 exactly reproducible.
+
+Each heuristic exposes the same decision through two interchangeable
+paths:
+
+* :meth:`Heuristic.select` — the object-based reference, a ``min`` over a
+  sequence of :class:`JobEstimate`; kept as the differential oracle;
+* :meth:`Heuristic.select_index` — the vectorised hot path, an argmin over
+  the alive rows of an :class:`~repro.core.estimation.EstimateMatrix`,
+  with the (submit_time, job_id) tie-break applied as secondary sort keys.
+
+Both compute the identical IEEE-754 key values, so they agree bit for bit
+(``tests/test_estimation_matrix.py`` enforces it on randomized inputs).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple, Type
+
+import numpy as np
 
 from repro.batch.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (estimation is numbers-only)
+    from repro.core.estimation import EstimateMatrix
 
 
 @dataclass(frozen=True, slots=True)
@@ -146,6 +163,41 @@ class Heuristic:
         """Full ordering of the candidates (best first); used by analyses."""
         return sorted(candidates, key=lambda est: (self.key(est), _tie_break(est)))
 
+    def key_array(self, matrix: "EstimateMatrix", rows: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`key` over the given matrix rows."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def select_index(
+        self, matrix: "EstimateMatrix", rows: Optional[np.ndarray] = None
+    ) -> int:
+        """Pick the next candidate among the matrix rows; returns a row index.
+
+        ``rows`` defaults to the matrix's alive rows.  The decision is the
+        lexicographic minimum of ``(key, submit_time, job_id)``, exactly
+        like :meth:`select` over the corresponding :class:`JobEstimate`
+        objects — the key arrays apply the same IEEE-754 operations as the
+        scalar properties, so no ordering can diverge.
+
+        Raises
+        ------
+        ValueError
+            If there is no row to select from.
+        """
+        if rows is None:
+            rows = matrix.alive_rows()
+        else:
+            rows = np.asarray(rows, dtype=np.intp)
+        if rows.size == 0:
+            raise ValueError(f"{self.name}: cannot select from an empty candidate set")
+        keys = self.key_array(matrix, rows)
+        tied = rows[keys == keys.min()]
+        if tied.size > 1:
+            submits = matrix.submit_times(tied)
+            tied = tied[submits == submits.min()]
+            if tied.size > 1:
+                tied = tied[[np.argmin(matrix.job_ids(tied))]]
+        return int(tied[0])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -159,6 +211,9 @@ class MctOrder(Heuristic):
     def key(self, estimate: JobEstimate) -> float:
         return estimate.job.submit_time
 
+    def key_array(self, matrix: "EstimateMatrix", rows: np.ndarray) -> np.ndarray:
+        return matrix.submit_times(rows)
+
 
 class MinMin(Heuristic):
     """MinMin: pick the job with the smallest best ECT (favours small jobs)."""
@@ -167,6 +222,9 @@ class MinMin(Heuristic):
 
     def key(self, estimate: JobEstimate) -> float:
         return estimate.best_ect
+
+    def key_array(self, matrix: "EstimateMatrix", rows: np.ndarray) -> np.ndarray:
+        return matrix.best_ects(rows)
 
 
 class MaxMin(Heuristic):
@@ -178,6 +236,10 @@ class MaxMin(Heuristic):
         best = estimate.best_ect
         return -best if math.isfinite(best) else math.inf
 
+    def key_array(self, matrix: "EstimateMatrix", rows: np.ndarray) -> np.ndarray:
+        best = matrix.best_ects(rows)
+        return np.where(np.isfinite(best), -best, np.inf)
+
 
 class MaxGain(Heuristic):
     """MaxGain: pick the job whose move yields the largest absolute gain."""
@@ -187,6 +249,10 @@ class MaxGain(Heuristic):
     def key(self, estimate: JobEstimate) -> float:
         gain = estimate.gain
         return -gain if math.isfinite(gain) else math.inf
+
+    def key_array(self, matrix: "EstimateMatrix", rows: np.ndarray) -> np.ndarray:
+        gain = matrix.gains(rows)
+        return np.where(np.isfinite(gain), -gain, np.inf)
 
 
 class MaxRelGain(Heuristic):
@@ -198,6 +264,10 @@ class MaxRelGain(Heuristic):
         gain = estimate.relative_gain
         return -gain if math.isfinite(gain) else math.inf
 
+    def key_array(self, matrix: "EstimateMatrix", rows: np.ndarray) -> np.ndarray:
+        gain = matrix.relative_gains(rows)
+        return np.where(np.isfinite(gain), -gain, np.inf)
+
 
 class Sufferage(Heuristic):
     """Sufferage: pick the job that suffers most from losing its best cluster."""
@@ -207,6 +277,10 @@ class Sufferage(Heuristic):
     def key(self, estimate: JobEstimate) -> float:
         value = estimate.sufferage
         return -value if math.isfinite(value) else -math.inf
+
+    def key_array(self, matrix: "EstimateMatrix", rows: np.ndarray) -> np.ndarray:
+        value = matrix.sufferages(rows)
+        return np.where(np.isfinite(value), -value, -np.inf)
 
 
 _HEURISTICS: Dict[str, Type[Heuristic]] = {

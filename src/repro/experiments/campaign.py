@@ -33,6 +33,7 @@ drained (see :func:`run_distributed_sweep` and ``repro campaign worker``).
 
 from __future__ import annotations
 
+import threading
 import time as _time
 import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -49,7 +50,12 @@ from repro.experiments.config import (
 from repro.experiments.sweeps import paper_sweep
 from repro.grid.simulation import GridSimulation
 from repro.platform.catalog import platform_for_scenario
-from repro.store import DEFAULT_STALE_LOCK_SECONDS, ResultStore, default_owner
+from repro.store import (
+    DEFAULT_STALE_LOCK_SECONDS,
+    ResultStore,
+    config_key,
+    default_owner,
+)
 from repro.workload.scenarios import get_scenario
 
 #: Named campaign groups understood by the CLI (``campaign run``,
@@ -411,6 +417,42 @@ class WorkerReport:
         )
 
 
+class _ClaimHeartbeat:
+    """Keep one claim visibly alive while its owner simulates.
+
+    A daemon thread touches the claim's lock file (via
+    :meth:`ResultStore.heartbeat`) every quarter of ``stale_after``, so
+    the heartbeat age other workers measure stays far below the takeover
+    threshold for as long as the simulation runs.  This is what lets
+    ``--stale-after`` shrink below the duration of a single simulation
+    without live claims being stolen: staleness means "stopped
+    heartbeating", not "claimed long ago".
+    """
+
+    def __init__(
+        self, store: ResultStore, config: ExperimentConfig, stale_after: float
+    ) -> None:
+        self._store = store
+        self._config = config
+        self._interval = max(0.05, stale_after / 4.0)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._beat, name="repro-claim-heartbeat", daemon=True
+        )
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._store.heartbeat(self._config)
+
+    def __enter__(self) -> "_ClaimHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
 def drain_units(
     units: Sequence[ExperimentConfig],
     store: ResultStore,
@@ -428,10 +470,12 @@ def drain_units(
 
     1. a unit whose result is already stored is done — skip it;
     2. otherwise try to **claim** it (advisory lock file, atomic create);
-       the winner simulates, publishes the result, and releases;
+       the winner simulates — heartbeating the claim the whole time — then
+       publishes the result and releases;
     3. a unit claimed by someone else is deferred and revisited later; if
-       its claim outlives ``stale_after`` seconds it is presumed dead and
-       taken over, so a crashed worker never strands the sweep.
+       its claim stops heartbeating for ``stale_after`` seconds it is
+       presumed dead and taken over, so a crashed worker never strands the
+       sweep while a live worker's long simulation is never stolen.
 
     The loop returns when every unit has a stored result, which makes the
     protocol free of both duplication (claims are exclusive) and loss
@@ -476,7 +520,8 @@ def drain_units(
                     if progress is not None:
                         progress(config, "store")
                 else:
-                    result = execute_config(config)
+                    with _ClaimHeartbeat(store, config, stale_after):
+                        result = execute_config(config)
                     store.put_result(config, result)
                     report.simulated.append(config.label())
                     if progress is not None:
@@ -550,3 +595,102 @@ def run_distributed_sweep(
     with ProcessPoolExecutor(max_workers=count) as pool:
         futures = [pool.submit(_sweep_worker, payload) for _ in range(count)]
         return [WorkerReport.from_dict(future.result()) for future in futures]
+
+
+# --------------------------------------------------------------------- #
+# Cross-host progress view (read-only, lock-free)                       #
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class UnitStatus:
+    """Progress of one unit of a sweep, as seen from the shared store."""
+
+    label: str
+    key: str
+    #: ``done`` (result stored), ``claimed`` (a worker holds the lock) or
+    #: ``pending`` (nobody started it yet)
+    state: str
+    #: claim owner (``host:pid`` by default); only for ``claimed`` units
+    owner: Optional[str] = None
+    #: seconds since the claim's last heartbeat; only for ``claimed`` units
+    heartbeat_age: Optional[float] = None
+
+
+@dataclass(slots=True)
+class SweepStatus:
+    """Cross-host progress of a sweep over a shared store.
+
+    Built by :func:`sweep_status` from pure reads — result-header sniffs
+    and lock-file stats — so any number of status calls can watch a fleet
+    of workers without ever contending for a claim.
+    """
+
+    total: int
+    done: int
+    claimed: int
+    pending: int
+    #: threshold used to flag stale claims in :attr:`stale_claims`
+    stale_after: float
+    units: List[UnitStatus] = field(default_factory=list)
+
+    @property
+    def claims_by_owner(self) -> Dict[str, List[UnitStatus]]:
+        """Claimed units grouped by owner, preserving unit order."""
+        owners: Dict[str, List[UnitStatus]] = {}
+        for unit in self.units:
+            if unit.state == "claimed":
+                owners.setdefault(unit.owner or "?", []).append(unit)
+        return owners
+
+    @property
+    def stale_claims(self) -> List[UnitStatus]:
+        """Claimed units whose last heartbeat is older than ``stale_after``."""
+        return [
+            unit
+            for unit in self.units
+            if unit.state == "claimed"
+            and unit.heartbeat_age is not None
+            and unit.heartbeat_age >= self.stale_after
+        ]
+
+
+def sweep_status(
+    units: Sequence[ExperimentConfig],
+    store: ResultStore,
+    *,
+    stale_after: float = DEFAULT_STALE_LOCK_SECONDS,
+) -> SweepStatus:
+    """Read-only progress view of a sweep's unit list against a store.
+
+    For every unit: a current stored result means *done*; otherwise a
+    present lock file means *claimed* (with its owner and heartbeat age);
+    otherwise *pending*.  The view takes no locks and writes nothing, so
+    it is safe to poll from any host while workers drain the sweep —
+    exactly what ``repro campaign status`` renders.
+    """
+    status = SweepStatus(
+        total=len(units), done=0, claimed=0, pending=0, stale_after=stale_after
+    )
+    for config in units:
+        key = config_key(config)
+        if store.result_is_current(config):
+            status.done += 1
+            status.units.append(UnitStatus(label=config.label(), key=key, state="done"))
+            continue
+        owner = store.claim_owner(config)
+        if owner is not None:
+            status.claimed += 1
+            status.units.append(
+                UnitStatus(
+                    label=config.label(),
+                    key=key,
+                    state="claimed",
+                    owner=owner,
+                    heartbeat_age=store.claim_age(config),
+                )
+            )
+        else:
+            status.pending += 1
+            status.units.append(
+                UnitStatus(label=config.label(), key=key, state="pending")
+            )
+    return status

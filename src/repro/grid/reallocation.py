@@ -32,16 +32,27 @@ answer these queries from their live incremental planning state (see
 :mod:`repro.batch.policies`), so a refresh costs one earliest-slot search
 per estimate — the cancel/submit of a move replans only the affected queue
 suffix, never the whole queue.
+
+Since the columnar refactor the table is a thin wrapper over a
+:class:`~repro.core.estimation.EstimateMatrix`: ECTs live in a NumPy
+(candidates × clusters) matrix, table builds and column refreshes go
+through the batched :meth:`BatchServer.estimate_completion_many` query,
+and each selection step is a vectorised
+:meth:`~repro.core.heuristics.Heuristic.select_index` over the alive rows.
+A :class:`~repro.core.heuristics.JobEstimate` object is only materialised
+for the finally-selected job of each step — never for the whole candidate
+set.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.batch.job import Job, JobState
 from repro.batch.server import BatchServer
+from repro.core.estimation import EstimateMatrix
 from repro.core.heuristics import Heuristic, JobEstimate, get_heuristic
 from repro.sim.events import EventType
 from repro.sim.kernel import SimulationKernel
@@ -63,16 +74,39 @@ class ReallocationAlgorithm(enum.Enum):
 
 
 class _EstimateTable:
-    """Per-cluster ECTs of the remaining candidates, refreshed incrementally."""
+    """Per-cluster ECTs of the remaining candidates, refreshed incrementally.
+
+    A thin wrapper over :class:`~repro.core.estimation.EstimateMatrix`:
+    the wrapper owns the :class:`Job` objects and the batch-server
+    handles, the matrix owns every number the heuristics read.  Table
+    builds and column refreshes query whole candidate batches through
+    :meth:`BatchServer.estimate_completion_many`, so the per-query planner
+    bookkeeping is paid once per touched cluster instead of once per
+    (job, cluster) pair.
+    """
 
     def __init__(self, servers: Sequence[BatchServer]) -> None:
         self._servers = {server.name: server for server in servers}
-        #: job id -> cluster name -> ECT
-        self._ects: Dict[int, Dict[str, float]] = {}
-        #: job id -> (current cluster, current ECT)
-        self._current: Dict[int, tuple[Optional[str], float]] = {}
+        self._matrix = EstimateMatrix(self._servers)
         self._jobs: Dict[int, Job] = {}
 
+    @property
+    def matrix(self) -> EstimateMatrix:
+        """The underlying columnar store (read-mostly; used by benchmarks)."""
+        return self._matrix
+
+    @property
+    def alive_count(self) -> int:
+        """Number of candidates still selectable."""
+        return self._matrix.alive_count
+
+    def alive_jobs(self) -> List[Job]:
+        """Jobs of the still-selectable candidates, in insertion order."""
+        return [self._jobs[job_id] for job_id in self._matrix.alive_job_ids()]
+
+    # ------------------------------------------------------------------ #
+    # Builds                                                             #
+    # ------------------------------------------------------------------ #
     def add(self, job: Job, current_cluster: Optional[str], current_ect: float) -> None:
         """Register a candidate and compute its ECT on every fitting cluster."""
         ects: Dict[str, float] = {}
@@ -83,9 +117,29 @@ class _EstimateTable:
                 ects[name] = current_ect
             else:
                 ects[name] = server.estimate_completion(job)
-        self._jobs[job.job_id] = job
-        self._ects[job.job_id] = ects
-        self._current[job.job_id] = (current_cluster, current_ect)
+        self._insert(job, ects, current_cluster, current_ect)
+
+    def add_waiting_many(self, entries: Sequence[Tuple[Job, float]]) -> None:
+        """Batched Algorithm 1 build: ``(job, planned completion)`` pairs.
+
+        Equivalent to calling :meth:`add` once per waiting job, but every
+        foreign cluster's column is estimated in one
+        :meth:`~BatchServer.estimate_completion_many` batch.
+        """
+        ects_of: Dict[int, Dict[str, float]] = {job.job_id: {} for job, _ in entries}
+        for name, server in self._servers.items():
+            batch: List[Job] = []
+            for job, planned in entries:
+                if not server.fits(job):
+                    continue
+                if name == job.cluster and job.state is JobState.WAITING:
+                    ects_of[job.job_id][name] = planned
+                else:
+                    batch.append(job)
+            for job, value in zip(batch, server.estimate_completion_many(batch)):
+                ects_of[job.job_id][name] = value
+        for job, planned in entries:
+            self._insert(job, ects_of[job.job_id], job.cluster, planned)
 
     def add_cancelled(self, job: Job, origin: str) -> None:
         """Register a just-cancelled candidate (Algorithm 2 path).
@@ -102,62 +156,114 @@ class _EstimateTable:
             for name, server in self._servers.items()
             if server.fits(job)
         }
-        self._jobs[job.job_id] = job
-        self._ects[job.job_id] = ects
-        self._current[job.job_id] = (origin, ects.get(origin, math.inf))
+        self._insert(job, ects, origin, ects.get(origin, math.inf))
 
+    def add_cancelled_many(self, jobs: Sequence[Job], origin_of: Mapping[int, str]) -> None:
+        """Batched Algorithm 2 build over the whole cancelled set."""
+        ects_of: Dict[int, Dict[str, float]] = {job.job_id: {} for job in jobs}
+        for name, server in self._servers.items():
+            batch = [job for job in jobs if server.fits(job)]
+            for job, value in zip(batch, server.estimate_completion_many(batch)):
+                ects_of[job.job_id][name] = value
+        for job in jobs:
+            ects = ects_of[job.job_id]
+            origin = origin_of[job.job_id]
+            self._insert(job, ects, origin, ects.get(origin, math.inf))
+
+    def _insert(
+        self,
+        job: Job,
+        ects: Dict[str, float],
+        current_cluster: Optional[str],
+        current_ect: float,
+    ) -> None:
+        self._jobs[job.job_id] = job
+        self._matrix.add_row(
+            job.job_id, job.submit_time, job.procs, ects, current_cluster, current_ect
+        )
+
+    # ------------------------------------------------------------------ #
+    # Selection-loop operations                                          #
+    # ------------------------------------------------------------------ #
     def discard(self, job_id: int) -> None:
-        """Remove a candidate from the table."""
+        """Remove a candidate from every subsequent selection."""
         self._jobs.pop(job_id, None)
-        self._ects.pop(job_id, None)
-        self._current.pop(job_id, None)
+        self._matrix.discard_job(job_id)
+
+    def select(self, heuristic: Heuristic) -> int:
+        """Vectorised pick over the alive rows; returns the chosen job id."""
+        return self._matrix.job_id_at(heuristic.select_index(self._matrix))
+
+    def estimate_of(self, job_id: int) -> JobEstimate:
+        """Materialise the :class:`JobEstimate` of one candidate."""
+        row = self._matrix.row_of(job_id)
+        current_cluster, current_ect = self._matrix.current_of(row)
+        return JobEstimate(
+            job=self._jobs[job_id],
+            current_cluster=current_cluster,
+            current_ect=current_ect,
+            ects=self._matrix.row_ects(row),
+        )
 
     def refresh_clusters(self, cluster_names: Iterable[str]) -> None:
-        """Recompute the ECTs of every candidate on the given clusters only."""
+        """Recompute the ECTs of every candidate on the given clusters only.
+
+        A candidate that no longer fits on a touched cluster has its old
+        entry stale-pruned from the matrix (historically the outdated ECT
+        survived the refresh); a pruned entry that was the candidate's
+        "current" resubmission target degrades its current ECT to ``inf``.
+        """
         names: Set[str] = {n for n in cluster_names if n in self._servers}
         if not names:
             return
-        for job_id, job in self._jobs.items():
-            ects = self._ects[job_id]
-            current_cluster, current_ect = self._current[job_id]
-            for name in names:
-                server = self._servers[name]
-                if not server.fits(job):
-                    continue
-                if (
+        matrix = self._matrix
+        rows = matrix.alive_rows()
+        for name in names:
+            server = self._servers[name]
+            batch_rows: List[int] = []
+            batch_jobs: List[Job] = []
+            for row in rows:
+                job = self._jobs[matrix.job_id_at(row)]
+                current_cluster, _ = matrix.current_of(row)
+                waiting_here = (
                     name == current_cluster
                     and job.state is JobState.WAITING
                     and job.cluster == current_cluster
-                ):
+                )
+                if not server.fits(job):
+                    matrix.clear_entry(row, name)
+                    if name == current_cluster and not waiting_here:
+                        # An Algorithm 2 candidate whose origin can no
+                        # longer take it back: resubmitting there is now
+                        # impossible.
+                        matrix.set_current(row, current_cluster, math.inf)
+                    continue
+                if waiting_here:
                     # Algorithm 1 candidate still waiting on the touched
                     # cluster: its current ECT is its new planned completion.
-                    current_ect = server.planned_completion(job)
-                    ects[name] = current_ect
-                    self._current[job_id] = (current_cluster, current_ect)
+                    value = server.planned_completion(job)
+                    matrix.set_entry(row, name, value)
+                    matrix.set_current(row, current_cluster, value)
                 else:
-                    value = server.estimate_completion(job)
-                    ects[name] = value
-                    if name == current_cluster:
-                        # Algorithm 2 candidate (already cancelled): its
-                        # "current" ECT is what resubmitting it to its
-                        # previous cluster would give now.
-                        current_ect = value
-                        self._current[job_id] = (current_cluster, current_ect)
+                    batch_rows.append(int(row))
+                    batch_jobs.append(job)
+            values = server.estimate_completion_many(batch_jobs)
+            for row, job, value in zip(batch_rows, batch_jobs, values):
+                matrix.set_entry(row, name, value)
+                current_cluster, _ = matrix.current_of(row)
+                if name == current_cluster:
+                    # Algorithm 2 candidate (already cancelled): its
+                    # "current" ECT is what resubmitting it to its
+                    # previous cluster would give now.
+                    matrix.set_current(row, current_cluster, value)
 
     def estimates(self, job_ids: Iterable[int]) -> List[JobEstimate]:
-        """Materialise :class:`JobEstimate` objects for the given candidates."""
-        result = []
-        for job_id in job_ids:
-            current_cluster, current_ect = self._current[job_id]
-            result.append(
-                JobEstimate(
-                    job=self._jobs[job_id],
-                    current_cluster=current_cluster,
-                    current_ect=current_ect,
-                    ects=dict(self._ects[job_id]),
-                )
-            )
-        return result
+        """Materialise :class:`JobEstimate` objects for the given candidates.
+
+        The differential-reference path: the selection loop itself only
+        materialises the finally-selected job via :meth:`estimate_of`.
+        """
+        return [self.estimate_of(job_id) for job_id in job_ids]
 
 
 class ReallocationAgent:
@@ -253,25 +359,28 @@ class ReallocationAgent:
         moves = 0
         snapshot = self._collect_waiting()
         table = _EstimateTable(self.servers)
-        remaining: Dict[int, Job] = {}
-        for job in snapshot:
-            server = self._servers_by_name[job.cluster]
-            table.add(job, job.cluster, server.planned_completion(job))
-            remaining[job.job_id] = job
+        table.add_waiting_many(
+            [
+                (job, self._servers_by_name[job.cluster].planned_completion(job))
+                for job in snapshot
+            ]
+        )
 
-        while remaining:
+        while table.alive_count:
             # Prune candidates that started meanwhile (cancelling a queue
             # head can let the local scheduler start jobs behind it).
-            for job_id in [jid for jid, job in remaining.items() if job.state is not JobState.WAITING]:
-                table.discard(job_id)
-                del remaining[job_id]
-            if not remaining:
+            for candidate in table.alive_jobs():
+                if candidate.state is not JobState.WAITING:
+                    table.discard(candidate.job_id)
+            if not table.alive_count:
                 break
-            candidates = table.estimates(remaining.keys())
-            chosen = self.heuristic.select(candidates)
+            # The selection is a vectorised argmin over the matrix rows;
+            # only the winner is materialised as a JobEstimate.
+            chosen = table.estimate_of(table.select(self.heuristic))
             job = chosen.job
             new_cluster = chosen.best_other_cluster
             new_ect = chosen.best_other_ect
+            table.discard(job.job_id)
             if (
                 new_cluster is not None
                 and math.isfinite(new_ect)
@@ -285,12 +394,7 @@ class ReallocationAgent:
                 job.reallocation_count += 1
                 self.total_reallocations += 1
                 moves += 1
-                table.discard(job.job_id)
-                del remaining[job.job_id]
                 table.refresh_clusters({origin_name, new_cluster})
-            else:
-                table.discard(job.job_id)
-                del remaining[job.job_id]
         return moves
 
     # -- Algorithm 2 ----------------------------------------------------- #
@@ -309,17 +413,14 @@ class ReallocationAgent:
             cancelled.append(job)
 
         # One table serves the whole tick: every (job, cluster) estimate of
-        # the cancelled set is computed exactly once here, then only the
-        # clusters touched by a resubmission are refreshed.
+        # the cancelled set is computed exactly once here — one batched
+        # column query per cluster — then only the clusters touched by a
+        # resubmission are refreshed.
         table = _EstimateTable(self.servers)
-        remaining: Dict[int, Job] = {}
-        for job in cancelled:
-            table.add_cancelled(job, previous_cluster[job.job_id])
-            remaining[job.job_id] = job
+        table.add_cancelled_many(cancelled, previous_cluster)
 
-        while remaining:
-            candidates = table.estimates(remaining.keys())
-            chosen = self.heuristic.select(candidates)
+        while table.alive_count:
+            chosen = table.estimate_of(table.select(self.heuristic))
             job = chosen.job
             target_name = chosen.best_cluster
             if target_name is None:
@@ -333,7 +434,6 @@ class ReallocationAgent:
                 self.total_reallocations += 1
                 moves += 1
             table.discard(job.job_id)
-            del remaining[job.job_id]
             table.refresh_clusters({target_name})
         return moves
 

@@ -12,7 +12,8 @@ table of the paper with zero re-simulations.
 * :class:`ResultStore` — load/save/invalidate of run results and
   comparison metrics, with schema versioning, corrupted-file recovery,
   transparent gzip compression of large documents, and advisory
-  claim/release locks for concurrent writers sharing one directory.
+  claim/release locks (with per-claim heartbeats) for concurrent writers
+  sharing one directory.
 * :data:`SCHEMA_VERSION` — bumped whenever the serialized layout of
   :class:`~repro.core.results.RunResult` or
   :class:`~repro.core.metrics.ComparisonMetrics` changes; documents

@@ -29,10 +29,15 @@ directory — coordinate through *advisory lock files*:
 * :meth:`ResultStore.try_claim` atomically creates
   ``locks/<hh>/<hash>.lock`` (``O_CREAT | O_EXCL``); exactly one claimant
   wins, everyone else sees the configuration as taken;
-* a claim older than ``stale_after`` seconds is presumed dead (crashed or
-  unplugged worker) and may be taken over: the stale file is atomically
-  renamed away — only one stealer wins the rename — and the claim race
-  restarts;
+* a live claim owner periodically *heartbeats* its lock
+  (:meth:`ResultStore.heartbeat` touches the file's mtime), so staleness
+  is measured from the last heartbeat, not from the claim's creation — a
+  worker mid-way through a long simulation stays protected however small
+  ``stale_after`` is set;
+* a claim whose last heartbeat is older than ``stale_after`` seconds is
+  presumed dead (crashed or unplugged worker) and may be taken over: the
+  stale file is atomically renamed away — only one stealer wins the
+  rename — and the claim race restarts;
 * :meth:`ResultStore.release` removes the lock only if this store
   instance still owns it (a takeover may have transferred ownership).
 
@@ -263,9 +268,10 @@ class ResultStore:
         """Atomically claim the right to simulate ``config``.
 
         Returns True when this instance now holds the claim.  A live
-        claim by someone else fails the attempt; a claim older than
-        ``stale_after`` seconds is stolen (renamed away) and the creation
-        race restarts, so at most one of the competing stealers wins.
+        claim by someone else fails the attempt; a claim whose last
+        heartbeat (lock mtime) is older than ``stale_after`` seconds is
+        stolen (renamed away) and the creation race restarts, so at most
+        one of the competing stealers wins.
         """
         path = self.lock_path(config)
         owner = owner or default_owner()
@@ -314,6 +320,41 @@ class ResultStore:
         except OSError:
             return False
 
+    def heartbeat(self, config: ExperimentConfig) -> bool:
+        """Refresh the liveness of a claim held by this instance.
+
+        Touches the lock file's mtime — the timestamp
+        :meth:`_steal_stale_lock` measures staleness from — so a worker
+        that heartbeats more often than ``stale_after`` can never lose a
+        claim it is actively working on.  Returns False (and touches
+        nothing) when this instance does not hold the claim, or when the
+        claim was meanwhile taken over by another worker.
+        """
+        path = self.lock_path(config)
+        token = self._claims.get(path.stem)
+        if token is None:
+            return False
+        if self.claim_owner(config, _want_token=token) is None:
+            return False
+        try:
+            os.utime(path)
+            return True
+        except OSError:
+            return False
+
+    def claim_age(self, config: ExperimentConfig) -> Optional[float]:
+        """Seconds since the last heartbeat of the claim on ``config``.
+
+        ``None`` when the configuration is unclaimed.  Read-only: the
+        cross-host ``campaign status`` view uses this to surface stale
+        claims without ever racing for a lock.
+        """
+        try:
+            mtime = self.lock_path(config).stat().st_mtime
+        except OSError:
+            return None
+        return max(0.0, time.time() - mtime)
+
     def claim_owner(
         self, config: ExperimentConfig, _want_token: Optional[str] = None
     ) -> Optional[str]:
@@ -350,7 +391,11 @@ class ResultStore:
             return False
 
     def _steal_stale_lock(self, path: Path, stale_after: float) -> bool:
-        """True when ``path`` is gone (freed, or renamed away by us)."""
+        """True when ``path`` is gone (freed, or renamed away by us).
+
+        Staleness is the age of the lock's mtime — i.e. of the owner's
+        last :meth:`heartbeat` (creation counts as the first one).
+        """
         try:
             age = time.time() - path.stat().st_mtime
         except OSError:

@@ -195,6 +195,39 @@ class TestEstimation:
         assert server.estimate_completion(small) == pytest.approx(1600.0)
 
 
+class TestBatchedEstimation:
+    """estimate_completion_many == per-job estimate_completion, in one pass."""
+
+    @pytest.mark.parametrize("policy", ["fcfs", "cbf"])
+    def test_batch_matches_per_job_queries(self, kernel, policy):
+        server = make_server(kernel, procs=8, policy=policy)
+        server.submit(make_job(1, procs=8, runtime=500.0, walltime=600.0))
+        server.submit(make_job(2, procs=4, runtime=200.0, walltime=300.0))  # waiting
+        probes = [
+            make_job(10, procs=2, runtime=50.0, walltime=100.0),   # backfillable
+            make_job(11, procs=8, runtime=100.0, walltime=200.0),  # queue tail
+            make_job(12, procs=16),                                # does not fit
+            make_job(2, procs=4, runtime=200.0, walltime=300.0),   # already waiting
+        ]
+        batched = server.estimate_completion_many(probes)
+        assert batched == [server.estimate_completion(job) for job in probes]
+        assert batched[2] == math.inf
+        assert batched[3] == server.planned_completion(probes[3])
+
+    def test_empty_batch(self, kernel):
+        server = make_server(kernel, procs=4)
+        assert server.estimate_completion_many([]) == []
+
+    def test_batch_is_a_pure_query(self, kernel):
+        server = make_server(kernel, procs=4)
+        server.submit(make_job(1, procs=4, runtime=400.0, walltime=400.0))
+        probes = [make_job(i, procs=2, runtime=50.0, walltime=100.0) for i in range(10, 30)]
+        before = server.queue_length
+        server.estimate_completion_many(probes)
+        assert server.queue_length == before
+        assert all(job.state is JobState.PENDING for job in probes)
+
+
 class TestWaitingQueue:
     def test_waiting_jobs_snapshot_in_queue_order(self, kernel):
         server = make_server(kernel, procs=2)

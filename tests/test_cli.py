@@ -234,6 +234,64 @@ class TestCampaignWorker:
                   "--workers", "2", "--store", str(tmp_path / "store")])
 
 
+class TestCampaignStatus:
+    def test_status_of_an_untouched_sweep_is_all_pending(self, tmp_path, capsys):
+        code = main([
+            "campaign", "status", "--sweep", "threshold-grid",
+            "--target-jobs", str(TARGET), "--store", str(tmp_path / "store"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep threshold-grid: 0/" in out
+        assert "0 claimed" in out
+
+    def test_status_after_a_drain_is_all_done(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "worker", "--sweep", "threshold-grid",
+                     "--target-jobs", str(TARGET), "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--sweep", "threshold-grid",
+                     "--target-jobs", str(TARGET), "--store", store]) == 0
+        out = capsys.readouterr().out
+        from repro.experiments.campaign import plan_units
+        from repro.experiments.sweeps import get_sweep
+
+        count = len(plan_units(get_sweep("threshold-grid", target_jobs=TARGET).configs()))
+        assert f"sweep threshold-grid: {count}/{count} done, 0 claimed, 0 pending" in out
+
+    def test_status_lists_claims_and_flags_stale_ones(self, tmp_path, capsys):
+        import os
+
+        from repro.experiments.campaign import plan_units
+        from repro.experiments.sweeps import get_sweep
+
+        spec = get_sweep("threshold-grid", target_jobs=TARGET)
+        units = plan_units(spec.configs())
+        store = ResultStore(tmp_path / "store")
+        assert store.try_claim(units[0], owner="host-a:1")
+        assert store.try_claim(units[1], owner="host-b:2")
+        lock = store.lock_path(units[1])
+        old = os.stat(lock).st_mtime - 90.0
+        os.utime(lock, (old, old))
+
+        code = main([
+            "campaign", "status", "--sweep", "threshold-grid",
+            "--target-jobs", str(TARGET), "--store", str(tmp_path / "store"),
+            "--stale-after", "60", "--claims",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 claimed" in out
+        assert "claimed by host-a:1: 1 unit(s)" in out
+        assert "claimed by host-b:2: 1 unit(s)" in out
+        assert "stale claims (no heartbeat for 60s+): 1" in out
+        assert "held by host-b:2" in out
+
+    def test_status_rejects_no_store(self):
+        with pytest.raises(SystemExit, match="store"):
+            main(["campaign", "status", "--sweep", "threshold-grid", "--no-store"])
+
+
 class TestCampaignConfigs:
     def test_paper_covers_all_four_groups(self):
         paper = campaign_configs("paper", target_jobs=TARGET)

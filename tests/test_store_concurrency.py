@@ -16,11 +16,13 @@ from pathlib import Path
 from typing import Dict
 
 from repro.experiments.campaign import (
+    _ClaimHeartbeat,
     _sweep_worker,
     drain_units,
     plan_units,
     run_campaign,
     run_distributed_sweep,
+    sweep_status,
 )
 from repro.experiments.sweeps import SweepSpec
 from repro.store import ResultStore
@@ -119,7 +121,7 @@ class TestClaimCoordination:
             assert store.has_result(unit)
 
     def test_stale_claim_of_a_dead_worker_is_taken_over(self, tmp_path):
-        """A crashed worker's claim never strands the sweep."""
+        """A claim that stopped heartbeating never strands the sweep."""
         import os
 
         store = ResultStore(tmp_path / "store", compress_threshold=THRESHOLD)
@@ -135,6 +137,66 @@ class TestClaimCoordination:
         assert report.stale_takeovers == 1
         assert dead.label() in report.simulated
         assert len(report.simulated) == len(units)
+
+    def test_recently_heartbeated_claim_is_not_stolen(self, tmp_path):
+        """Staleness is heartbeat age, not claim age.
+
+        A claim created long ago but heartbeated a moment ago must survive
+        a takeover attempt — this is what lets ``--stale-after`` shrink
+        below the duration of one simulation.
+        """
+        import os
+
+        store = ResultStore(tmp_path / "store", compress_threshold=THRESHOLD)
+        unit = plan_units(SPEC.configs())[0]
+        assert store.try_claim(unit, owner="slow-but-alive")
+        lock = store.lock_path(unit)
+        # The claim is ancient...
+        old = os.stat(lock).st_mtime - 3600.0
+        os.utime(lock, (old, old))
+        assert store.claim_age(unit) >= 3600.0
+        # ...but its owner just heartbeated.
+        assert store.heartbeat(unit)
+        assert store.claim_age(unit) < 5.0
+
+        peer = ResultStore(store.root, compress_threshold=THRESHOLD)
+        assert not peer.try_claim(unit, owner="stealer", stale_after=5.0)
+        assert peer.stats.stale_takeovers == 0
+        assert store.claim_owner(unit) == "slow-but-alive"
+
+    def test_heartbeat_requires_a_live_owned_claim(self, tmp_path):
+        store = ResultStore(tmp_path / "store", compress_threshold=THRESHOLD)
+        peer = ResultStore(store.root, compress_threshold=THRESHOLD)
+        unit = plan_units(SPEC.configs())[0]
+        # No claim at all: nothing to heartbeat.
+        assert not store.heartbeat(unit)
+        assert store.claim_age(unit) is None
+        # A claim held by someone else cannot be heartbeated.
+        assert peer.try_claim(unit, owner="peer")
+        assert not store.heartbeat(unit)
+        # A claim stolen mid-flight is not resurrected by the old owner.
+        assert peer.release(unit)
+        assert store.try_claim(unit, owner="victim")
+        store.break_claim(unit)
+        assert peer.try_claim(unit, owner="thief")
+        assert not store.heartbeat(unit)
+        assert peer.claim_owner(unit) == "thief"
+
+    def test_claim_heartbeat_keeps_a_slow_simulation_alive(self, tmp_path):
+        """The drain loop's heartbeat thread refreshes the lock while working."""
+        import os
+
+        store = ResultStore(tmp_path / "store", compress_threshold=THRESHOLD)
+        unit = plan_units(SPEC.configs())[0]
+        assert store.try_claim(unit, owner="worker")
+        lock = store.lock_path(unit)
+        claimed_mtime = os.stat(lock).st_mtime
+        with _ClaimHeartbeat(store, unit, stale_after=0.2):
+            time.sleep(0.5)  # several heartbeat intervals (stale_after / 4)
+            beaten_mtime = os.stat(lock).st_mtime
+        assert beaten_mtime > claimed_mtime
+        peer = ResultStore(store.root, compress_threshold=THRESHOLD)
+        assert not peer.try_claim(unit, owner="stealer", stale_after=30.0)
 
     def test_worker_entry_point_round_trips_through_a_pool(self, tmp_path):
         """The process-pool payload protocol drains a sweep end to end."""
@@ -152,3 +214,60 @@ class TestClaimCoordination:
         store = ResultStore(tmp_path / "store")
         for unit in units:
             assert store.has_result(unit)
+
+
+class TestSweepStatus:
+    """The read-only cross-host progress view over a shared store."""
+
+    def test_untouched_sweep_is_all_pending(self, tmp_path):
+        store = ResultStore(tmp_path / "store", compress_threshold=THRESHOLD)
+        units = plan_units(SPEC.configs())
+        status = sweep_status(units, store)
+        assert (status.total, status.done, status.claimed, status.pending) == (
+            len(units), 0, 0, len(units)
+        )
+        assert status.claims_by_owner == {}
+        assert status.stale_claims == []
+
+    def test_status_tracks_done_claimed_and_stale(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path / "store", compress_threshold=THRESHOLD)
+        units = plan_units(SPEC.configs())
+        assert len(units) >= 3
+        # One unit done, one freshly claimed, one claimed-but-silent.
+        outcome = run_campaign([units[0]]).results[units[0]]
+        store.put_result(units[0], outcome)
+        worker_a = ResultStore(store.root, compress_threshold=THRESHOLD)
+        assert worker_a.try_claim(units[1], owner="host-a:1")
+        worker_b = ResultStore(store.root, compress_threshold=THRESHOLD)
+        assert worker_b.try_claim(units[2], owner="host-b:2")
+        lock = worker_b.lock_path(units[2])
+        old = os.stat(lock).st_mtime - 120.0
+        os.utime(lock, (old, old))
+
+        status = sweep_status(units, store, stale_after=60.0)
+        assert status.done == 1
+        assert status.claimed == 2
+        assert status.pending == len(units) - 3
+        owners = status.claims_by_owner
+        assert set(owners) == {"host-a:1", "host-b:2"}
+        assert owners["host-a:1"][0].heartbeat_age < 60.0
+        stale = status.stale_claims
+        assert [unit.owner for unit in stale] == ["host-b:2"]
+        assert stale[0].heartbeat_age >= 120.0
+
+    def test_status_never_writes_or_locks(self, tmp_path):
+        """Polling the status leaves the store byte-identical."""
+        store = ResultStore(tmp_path / "store", compress_threshold=THRESHOLD)
+        units = plan_units(SPEC.configs())
+        outcome = run_campaign([units[0]]).results[units[0]]
+        store.put_result(units[0], outcome)
+        watcher = ResultStore(store.root, compress_threshold=THRESHOLD)
+        assert watcher.try_claim(units[1], owner="worker")
+        before = store_bytes(store.root)
+        locks_before = sorted(str(p) for p in store.root.glob("locks/??/*.lock"))
+        sweep_status(units, store, stale_after=0.0)  # even "everything stale"
+        assert store_bytes(store.root) == before
+        assert sorted(str(p) for p in store.root.glob("locks/??/*.lock")) == locks_before
+        assert store.stats.claims == 0 and store.stats.stale_takeovers == 0
