@@ -22,12 +22,12 @@ object path never was its bottleneck.
 
 from __future__ import annotations
 
-import json
 import math
 import random
 import time
 from pathlib import Path
 
+from repro.analysis.benchio import dump_bench_report
 from repro.batch.job import Job
 from repro.core.estimation import EstimateMatrix
 from repro.core.heuristics import HEURISTIC_NAMES, JobEstimate, get_heuristic
@@ -141,7 +141,7 @@ def test_heuristic_selection_speedup():
             offline_speedups[name] = speedup
 
     out_path = Path(__file__).resolve().parents[1] / "BENCH_heuristics.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    dump_bench_report(out_path, report)
     slowest = min(offline_speedups, key=offline_speedups.get)
     print(
         f"\nheuristic drain over {CANDIDATES} candidates x {len(CLUSTERS)} "

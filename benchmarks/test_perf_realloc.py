@@ -20,12 +20,12 @@ artifact).
 
 from __future__ import annotations
 
-import json
 import math
 import random
 import time
 from pathlib import Path
 
+from repro.analysis.benchio import dump_bench_report
 from repro.batch.job import Job
 from repro.batch.server import BatchServer
 from repro.grid.reallocation import _EstimateTable
@@ -143,7 +143,7 @@ def test_cancellation_table_build_speedup():
         "speedup": round(speedup, 2),
     }
     out_path = Path(__file__).resolve().parents[1] / "BENCH_realloc.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    dump_bench_report(out_path, report)
     print(
         f"\nestimate-table build over {len(cancelled)} cancelled jobs: "
         f"reference {reference_s:.3f}s, single-pass {single_pass_s:.3f}s, "

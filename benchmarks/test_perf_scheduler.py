@@ -19,12 +19,12 @@ at the repository root (uploaded as a CI artifact).
 
 from __future__ import annotations
 
-import json
 import math
 import random
 import time
 from pathlib import Path
 
+from repro.analysis.benchio import dump_bench_report
 from repro.batch.cluster import ClusterState
 from repro.batch.job import Job
 from repro.batch.policies import (
@@ -195,7 +195,7 @@ def test_incremental_scheduler_speedup():
         )
 
     out_path = Path(__file__).resolve().parents[1] / "BENCH_scheduler.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    dump_bench_report(out_path, report)
 
     for policy_name, numbers in report["policies"].items():
         assert numbers["speedup"] >= MIN_SPEEDUP, (

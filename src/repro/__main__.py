@@ -53,6 +53,7 @@ stored results and re-simulates everything, refreshing the store.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -210,6 +211,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "stale (default %(default)s)")
     status.add_argument("--claims", action="store_true",
                         help="list every claimed unit individually")
+    status.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the status snapshot as a JSON document "
+                             "(for cross-host dashboards and scripts)")
     _add_common_options(status)
 
     store = commands.add_parser(
@@ -417,11 +421,27 @@ def _cmd_campaign_sweep(args: argparse.Namespace) -> int:
         build_sweep_report(spec, campaign.metrics, metric=args.metric),
         top=args.top,
     ))
+    _print_disruptions(campaign)
     elapsed = time.perf_counter() - started
     print(f"sweep {spec.name}: {len(configs)} cells, {simulated} simulated, "
           f"{conflicts} claim conflicts, {takeovers} stale takeovers, "
           f"{elapsed:.1f}s elapsed", file=sys.stderr)
     return 0
+
+
+def _print_disruptions(campaign) -> None:
+    """One line of disruption accounting when any run hit an outage.
+
+    Summed over the hydrated results of the campaign (dynamic cells
+    only), so a purely static sweep prints nothing and its output stays
+    byte-identical to the pre-dynamic-platform renderer.
+    """
+    killed = sum(r.jobs_killed_by_outage for r in campaign.results.values())
+    requeued = sum(r.jobs_requeued for r in campaign.results.values())
+    work_lost = sum(r.work_lost for r in campaign.results.values())
+    if killed or requeued or work_lost:
+        print(f"disruptions: {killed} jobs killed by outages, "
+              f"{requeued} requeued, {work_lost:.0f} core-seconds lost")
 
 
 def _cmd_campaign_worker(args: argparse.Namespace) -> int:
@@ -467,6 +487,11 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     store = _open_store(args)
     units = plan_units(spec.configs())
     status = sweep_status(units, store, stale_after=args.stale_after)
+    if args.as_json:
+        document = {"sweep": spec.name, "store": str(store.root)}
+        document.update(status.to_dict())
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     print(f"sweep {spec.name}: {status.done}/{status.total} done, "
           f"{status.claimed} claimed, {status.pending} pending "
           f"(store: {store.root})")

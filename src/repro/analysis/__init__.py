@@ -9,9 +9,12 @@ inspected on its own:
 * :mod:`repro.analysis.stats` — response time / wait time / bounded
   slowdown distributions, per-cluster breakdowns and whole-run summaries;
 * :mod:`repro.analysis.timeline` — time series of processor utilisation
-  and of the number of waiting jobs, rebuilt from a run's job records.
+  and of the number of waiting jobs, rebuilt from a run's job records;
+* :mod:`repro.analysis.benchio` — canonical (sorted-key, fixed-precision)
+  serialization of the ``BENCH_*.json`` benchmark reports.
 """
 
+from repro.analysis.benchio import dump_bench_report, dumps_bench_report
 from repro.analysis.stats import (
     ClusterBreakdown,
     DistributionStats,
@@ -31,6 +34,8 @@ __all__ = [
     "RunSummary",
     "TimeSeries",
     "bounded_slowdown",
+    "dump_bench_report",
+    "dumps_bench_report",
     "per_cluster_breakdown",
     "response_time_stats",
     "slowdown_stats",

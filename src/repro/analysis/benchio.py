@@ -1,0 +1,71 @@
+"""Canonical serialization of benchmark reports.
+
+The ``benchmarks/test_perf_*`` suites publish their timings as
+``BENCH_*.json`` files at the repository root (committed and uploaded as
+CI artifacts).  Historically each suite called ``json.dumps`` on a
+hand-built dict, which made reruns churn the files in ways that had
+nothing to do with the measurements: insertion-ordered keys moved around
+as the code evolved, and raw ``time.perf_counter`` arithmetic leaked
+15-digit floats that differed in every run even when the rounded timing
+was identical.
+
+:func:`dump_bench_report` pins the representation down:
+
+* **keys are sorted** at every nesting level, so the line order of the
+  file is a pure function of the key set;
+* **floats are rounded to a fixed precision** (4 decimals — a tenth of a
+  millisecond, well below timer noise) recursively, bools excluded;
+* the document ends with a single trailing newline.
+
+A rerun therefore only diffs where a rounded measurement genuinely
+changed, never in formatting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: Decimal places every float of a bench report is rounded to.
+FLOAT_PRECISION = 4
+
+
+def canonical_report(value: Any, precision: int = FLOAT_PRECISION) -> Any:
+    """Recursively round floats and reject types JSON cannot express."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return round(value, precision)
+    if isinstance(value, dict):
+        return {str(key): canonical_report(item, precision) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_report(item, precision) for item in value]
+    raise TypeError(f"bench reports only hold JSON scalars and containers, got {type(value)!r}")
+
+
+def dumps_bench_report(report: Any, precision: int = FLOAT_PRECISION) -> str:
+    """Deterministic JSON text of a bench report (sorted keys, fixed floats)."""
+    return (
+        json.dumps(
+            canonical_report(report, precision),
+            indent=2,
+            sort_keys=True,
+            allow_nan=False,
+        )
+        + "\n"
+    )
+
+
+def dump_bench_report(path: "Path | str", report: Any, precision: int = FLOAT_PRECISION) -> None:
+    """Write ``report`` to ``path`` in the canonical form.
+
+    The file is only touched when its content actually changes, so a
+    rerun with identical (rounded) measurements leaves the mtime — and
+    any ``git status`` — alone.
+    """
+    path = Path(path)
+    text = dumps_bench_report(report, precision)
+    if path.exists() and path.read_text(encoding="utf-8") == text:
+        return
+    path.write_text(text, encoding="utf-8")

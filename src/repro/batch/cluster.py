@@ -12,12 +12,22 @@ window when a job completes early, and :meth:`ClusterState.availability`
 advances the profile to the current time — no per-event reconstruction.
 :meth:`ClusterState.build_profile` keeps the historical from-scratch
 construction as the reference implementation for the differential oracle.
+
+Since the dynamic-platform refactor the cluster's capacity is a function
+of time: :meth:`ClusterState.apply_capacity` shrinks or grows the live
+profile when a resource event (outage, maintenance window, join/leave,
+degraded capacity) fires, killing just enough running jobs — most recently
+started first, a deterministic LIFO victim order — to fit the new
+capacity.  ``total_procs`` remains the *nominal* size (what a job must fit
+for admission); :attr:`ClusterState.capacity` is what is available right
+now.  On a static platform the two never diverge, so every historical
+code path behaves byte-identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.batch.job import Job
 from repro.batch.profile import AvailabilityProfile
@@ -50,7 +60,7 @@ class ClusterState:
     name:
         Cluster identifier (e.g. ``"bordeaux"``).
     total_procs:
-        Number of processors (cores) of the cluster.
+        Nominal number of processors (cores) of the cluster.
     speed:
         Relative speed factor; 1.0 is the reference (slowest) cluster.
         Runtimes and walltimes are divided by this factor.
@@ -64,6 +74,8 @@ class ClusterState:
         self.name = name
         self.total_procs = int(total_procs)
         self.speed = float(speed)
+        #: currently available processors (== total_procs on static platforms)
+        self.capacity = int(total_procs)
         self._running: Dict[int, RunningJob] = {}
         # Live availability profile of the running set, updated in place by
         # start_job/finish_job and advanced lazily by availability().
@@ -79,8 +91,13 @@ class ClusterState:
 
     @property
     def free_procs(self) -> int:
-        """Processors currently idle."""
-        return self.total_procs - self.used_procs
+        """Processors currently idle (within the current capacity)."""
+        return self.capacity - self.used_procs
+
+    @property
+    def is_up(self) -> bool:
+        """True while the cluster has any capacity at all."""
+        return self.capacity > 0
 
     @property
     def running_count(self) -> int:
@@ -140,8 +157,56 @@ class ClusterState:
         return entry
 
     def fits(self, job: Job) -> bool:
-        """True if the job's processor request does not exceed the cluster size."""
+        """True if the job's processor request does not exceed the nominal size."""
         return job.procs <= self.total_procs
+
+    def fits_now(self, job: Job) -> bool:
+        """True if the request fits in the *current* capacity.
+
+        Identical to :meth:`fits` on a static platform; on a dynamic one a
+        down or degraded cluster stops fitting jobs it nominally could run.
+        """
+        return job.procs <= self.capacity
+
+    # ------------------------------------------------------------------ #
+    # Capacity changes (resource events)                                 #
+    # ------------------------------------------------------------------ #
+    def apply_capacity(self, new_capacity: int, now: float) -> List[RunningJob]:
+        """Shrink or grow the available capacity to ``new_capacity`` at ``now``.
+
+        When shrinking below the processors currently in use, running jobs
+        are killed — most recently started first (ties broken by the
+        higher job id), a deterministic LIFO order that preserves the most
+        sunk work — until the remaining running set fits.  Each victim's
+        reservation is released in full, then the live profile's capacity
+        moves to the new value over ``[now, inf)``.
+
+        Returns the killed :class:`RunningJob` entries in kill order (the
+        caller requeues the jobs and cancels their completion events).
+        The running set and the live profile stay mutually consistent, so
+        :meth:`build_profile` remains a valid from-scratch reference after
+        any sequence of capacity changes.
+        """
+        if new_capacity < 0:
+            raise ValueError(
+                f"cluster {self.name}: capacity must be >= 0, got {new_capacity}"
+            )
+        if new_capacity > self.total_procs:
+            raise ValueError(
+                f"cluster {self.name}: capacity {new_capacity} exceeds the "
+                f"nominal size {self.total_procs}"
+            )
+        victims: List[RunningJob] = []
+        while self.used_procs > new_capacity:
+            entry = max(
+                self._running.values(),
+                key=lambda e: (e.start_time, e.job.job_id),
+            )
+            self.finish_job(entry.job.job_id, now)
+            victims.append(entry)
+        self._profile.set_capacity(new_capacity, now)
+        self.capacity = int(new_capacity)
+        return victims
 
     # ------------------------------------------------------------------ #
     # Profiles                                                           #
@@ -150,10 +215,11 @@ class ClusterState:
         """Live availability profile advanced to ``now`` (returned as a copy).
 
         The live profile is maintained incrementally by
-        :meth:`start_job`/:meth:`finish_job`; this accessor only drops
-        breakpoints that fell into the past.  As a step function over
-        ``[now, inf)`` the result is identical to :meth:`build_profile`,
-        without the per-call reconstruction from the running set.
+        :meth:`start_job`/:meth:`finish_job` (and by capacity changes);
+        this accessor only drops breakpoints that fell into the past.  As
+        a step function over ``[now, inf)`` the result is identical to
+        :meth:`build_profile`, without the per-call reconstruction from
+        the running set.
         """
         self._profile.advance(now)
         return self._profile.copy()
@@ -163,11 +229,13 @@ class ClusterState:
 
         The occupation of each running job extends to its *walltime* end,
         which is all the scheduler knows before the job actually finishes.
-        This is the from-scratch reference construction; the scheduling hot
-        path uses :meth:`availability` instead, and the differential
-        property suite asserts the two stay equal.
+        The base capacity is the cluster's *current* capacity (nominal
+        size on static platforms).  This is the from-scratch reference
+        construction; the scheduling hot path uses :meth:`availability`
+        instead, and the differential property suite asserts the two stay
+        equal.
         """
-        profile = AvailabilityProfile(self.total_procs, start_time=now)
+        profile = AvailabilityProfile(self.capacity, start_time=now)
         for entry in self._running.values():
             end = entry.walltime_end
             if end <= now:
@@ -180,6 +248,6 @@ class ClusterState:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ClusterState({self.name}, procs={self.used_procs}/{self.total_procs}, "
-            f"speed={self.speed})"
+            f"ClusterState({self.name}, procs={self.used_procs}/{self.capacity}"
+            f"/{self.total_procs}, speed={self.speed})"
         )

@@ -73,6 +73,8 @@ class Job:
     killed: bool = field(default=False)
     #: number of times the job was moved to a *different* cluster
     reallocation_count: int = field(default=0)
+    #: number of times the job was killed by a cluster outage and requeued
+    outage_kills: int = field(default=0)
 
     def __post_init__(self) -> None:
         if self.procs <= 0:
@@ -143,6 +145,7 @@ class Job:
         self.completion_time = None
         self.killed = False
         self.reallocation_count = 0
+        self.outage_kills = 0
 
     def copy(self) -> "Job":
         """Deep-enough copy with pristine dynamic state."""

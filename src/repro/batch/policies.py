@@ -263,6 +263,20 @@ class IncrementalPlanner:
         else:
             self.advance(now)
 
+    def requeue_front(self, jobs: Sequence[Job], now: float) -> None:
+        """Re-enter ``jobs`` at the head of the queue after a capacity change.
+
+        This is the planner half of a resource event: jobs killed by an
+        outage re-enter the waiting queue *ahead* of everything queued
+        behind them (they had already earned their start), and the whole
+        plan is rebuilt from the cluster's post-change availability —
+        a capacity change moves the base profile itself, which can shift
+        every placement, so the full replan is the only exact suffix.
+        """
+        if jobs:
+            self.jobs[:0] = jobs
+        self.replan_all(now)
+
     def replan_all(self, now: float) -> None:
         """Rebuild the plan from the cluster's live availability profile."""
         self.plan.reset(self.cluster.availability(now), now)

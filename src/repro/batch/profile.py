@@ -45,8 +45,8 @@ class AvailabilityProfile:
     __slots__ = ("total_procs", "_times", "_free")
 
     def __init__(self, total_procs: int, start_time: float = 0.0) -> None:
-        if total_procs <= 0:
-            raise ValueError(f"total_procs must be positive, got {total_procs}")
+        if total_procs < 0:
+            raise ValueError(f"total_procs must be >= 0, got {total_procs}")
         self.total_procs = int(total_procs)
         self._times: list[float] = [float(start_time)]
         self._free: list[int] = [int(total_procs)]
@@ -181,6 +181,39 @@ class AvailabilityProfile:
         if end <= start:
             return
         self.add(start, end, procs)
+        self.compact()
+
+    def set_capacity(self, new_total: int, now: float) -> None:
+        """Change the cluster capacity to ``new_total`` from ``now`` on.
+
+        This is the live-profile half of a resource event (outage,
+        maintenance, recovery, join/leave): the free-processor count over
+        ``[now, inf)`` moves by the capacity delta and :attr:`total_procs`
+        — the cap used by overflow checks and by
+        :meth:`earliest_slot`'s infeasibility test — becomes the new
+        capacity.  Shrinking requires the delta to be free everywhere
+        from ``now`` on; the caller (:class:`~repro.batch.cluster
+        .ClusterState`) kills enough running jobs first.
+
+        Raises
+        ------
+        ProfileError
+            If shrinking below the processors currently reserved anywhere
+            in ``[now, inf)``.
+        """
+        if new_total < 0:
+            raise ValueError(f"new_total must be >= 0, got {new_total}")
+        self.advance(now)
+        delta = new_total - self.total_procs
+        if delta == 0:
+            return
+        start = max(now, self._times[0])
+        if delta > 0:
+            self.total_procs = int(new_total)
+            self.add(start, math.inf, delta)
+        else:
+            self.subtract(start, math.inf, -delta)
+            self.total_procs = int(new_total)
         self.compact()
 
     def compact(self) -> None:

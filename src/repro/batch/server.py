@@ -24,18 +24,32 @@ live residual profile, so the grid layer's ECT storms never trigger a
 replan.  Because processors are only released by completion events,
 handling these events is enough: between two events no new start can
 become feasible.
+
+On a *dynamic* platform the server also owns its cluster's
+:class:`~repro.platform.timeline.AvailabilityTimeline`: every capacity
+transition is scheduled as a ``RESOURCE_CHANGE`` kernel event (fired after
+same-timestamp completions, before submissions).  When such an event
+shrinks the capacity, running jobs that no longer fit are killed and
+requeued at the head of the waiting queue, their completion events are
+cancelled, and the plan is rebuilt against the post-change profile; a
+recovery replans too, re-entering the stranded queue.  Estimates against a
+down cluster come back infinite, so the meta-scheduler and the
+reallocation agent naturally route work elsewhere until recovery.  A
+server without a timeline schedules no resource events and behaves
+byte-identically to the historical static implementation.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.batch.cluster import ClusterState, RunningJob
 from repro.batch.job import Job, JobState
 from repro.batch.policies import BatchPolicy, IncrementalPlanner
 from repro.batch.schedule import ClusterPlan
-from repro.sim.events import EventType
+from repro.platform.timeline import AvailabilityTimeline
+from repro.sim.events import Event, EventType
 from repro.sim.kernel import SimulationKernel
 
 
@@ -66,6 +80,13 @@ class BatchServer:
         Optional callback invoked as ``on_start(job)`` whenever a job starts
         executing on this cluster (used by the multi-submission agent to
         cancel the other copies of a job).
+    timeline:
+        Optional :class:`~repro.platform.timeline.AvailabilityTimeline`.
+        A non-trivial timeline makes the cluster *dynamic*: its capacity
+        transitions are scheduled as resource events on the kernel.
+    on_outage_kill:
+        Optional callback invoked as ``on_outage_kill(job)`` for every job
+        killed (and requeued) by a capacity shrink.
     """
 
     def __init__(
@@ -77,6 +98,8 @@ class BatchServer:
         policy: "BatchPolicy | str" = BatchPolicy.FCFS,
         on_completion: Optional[Callable[[Job], None]] = None,
         on_start: Optional[Callable[[Job], None]] = None,
+        timeline: Optional[AvailabilityTimeline] = None,
+        on_outage_kill: Optional[Callable[[Job], None]] = None,
     ) -> None:
         self.kernel = kernel
         self.cluster = ClusterState(name, total_procs, speed)
@@ -86,12 +109,26 @@ class BatchServer:
         self._planner = IncrementalPlanner(policy, self.cluster)
         self.on_completion = on_completion
         self.on_start = on_start
+        self.on_outage_kill = on_outage_kill
+        #: live completion events of the running set (cancelled on outage kills)
+        self._completion_events: Dict[int, Event] = {}
         # Statistics.
         self.submitted_count = 0
         self.cancelled_count = 0
         self.started_count = 0
         self.completed_count = 0
         self.killed_count = 0
+        #: running jobs killed by capacity shrinks (outages / degradations)
+        self.outage_killed_count = 0
+        #: jobs re-entered at the queue head after an outage kill
+        self.requeued_count = 0
+        #: core-seconds of execution thrown away by outage kills
+        self.work_lost = 0.0
+        #: resource events applied to this cluster
+        self.capacity_changes = 0
+        self.timeline = timeline
+        if timeline is not None and not timeline.is_trivial:
+            self._install_timeline(timeline)
 
     # ------------------------------------------------------------------ #
     # Properties                                                         #
@@ -108,8 +145,18 @@ class BatchServer:
 
     @property
     def total_procs(self) -> int:
-        """Number of processors of the cluster."""
+        """Nominal number of processors of the cluster."""
         return self.cluster.total_procs
+
+    @property
+    def capacity(self) -> int:
+        """Processors currently available (== ``total_procs`` when static)."""
+        return self.cluster.capacity
+
+    @property
+    def is_up(self) -> bool:
+        """True while the cluster has any capacity at all."""
+        return self.cluster.is_up
 
     @property
     def queue_length(self) -> int:
@@ -140,8 +187,22 @@ class BatchServer:
         return self._planner.index_of(job.job_id) >= 0
 
     def fits(self, job: Job) -> bool:
-        """True if the job's processor request fits on this cluster."""
+        """True if the job's processor request fits the cluster's nominal size.
+
+        Admission is nominal: a job may be submitted to (and wait on) a
+        cluster that is momentarily down or degraded, exactly as a real
+        batch system accepts submissions during a maintenance window.
+        """
         return self.cluster.fits(job)
+
+    def fits_now(self, job: Job) -> bool:
+        """True if the request fits the *current* capacity.
+
+        This is what availability-aware placement consults: a down cluster
+        fits nothing, a degraded one only what its remaining processors can
+        hold.  Identical to :meth:`fits` on a static platform.
+        """
+        return self.cluster.fits_now(job)
 
     # ------------------------------------------------------------------ #
     # Middleware-facing operations                                       #
@@ -245,6 +306,66 @@ class BatchServer:
         return list(self.cluster.running_jobs())
 
     # ------------------------------------------------------------------ #
+    # Resource events (dynamic platforms)                                #
+    # ------------------------------------------------------------------ #
+    def _install_timeline(self, timeline: AvailabilityTimeline) -> None:
+        """Apply the initial capacity and schedule every future transition."""
+        procs = self.cluster.total_procs
+        initial = timeline.capacity_at(self.kernel.now, procs)
+        if initial != self.cluster.capacity:
+            # Before any job exists: no victims, no replanning needed beyond
+            # resetting the empty plan's base profile.
+            self.cluster.apply_capacity(initial, self.kernel.now)
+            self._planner.replan_all(self.kernel.now)
+        for time, capacity in timeline.transitions(procs):
+            if time <= self.kernel.now:
+                continue
+            self.kernel.schedule_at(
+                time,
+                self.apply_capacity_change,
+                capacity,
+                event_type=EventType.RESOURCE_CHANGE,
+            )
+
+    def apply_capacity_change(self, new_capacity: int) -> None:
+        """Resource event: the cluster's available capacity becomes ``new_capacity``.
+
+        A shrink kills the most recently started running jobs until the
+        rest fit, cancels their completion events, and requeues them at
+        the head of the waiting queue (they had already earned their
+        start); any change rebuilds the plan against the post-change
+        profile and runs a scheduling pass, so a recovery immediately
+        starts whatever now fits.
+        """
+        now = self.kernel.now
+        self.capacity_changes += 1
+        victims = self.cluster.apply_capacity(new_capacity, now)
+        requeued: List[Job] = []
+        for entry in victims:
+            event = self._completion_events.pop(entry.job.job_id, None)
+            if event is not None:
+                event.cancel()
+            job = entry.job
+            job.state = JobState.WAITING
+            job.start_time = None
+            job.completion_time = None
+            job.killed = False
+            job.outage_kills += 1
+            job.local_submit_time = now
+            self.work_lost += entry.procs * (now - entry.start_time)
+            requeued.append(job)
+        # Victims were killed most-recently-started first; requeue them in
+        # their original start order, earliest at the very head of the queue.
+        requeued.reverse()
+        self.outage_killed_count += len(victims)
+        self.requeued_count += len(requeued)
+        self._planner.requeue_front(requeued, now)
+        self._schedule_pass()
+        if self.on_outage_kill is not None:
+            for job in requeued:
+                self.on_outage_kill(job)
+
+    # ------------------------------------------------------------------ #
     # Internal scheduling                                                #
     # ------------------------------------------------------------------ #
     def _schedule_pass(self) -> None:
@@ -285,7 +406,7 @@ class BatchServer:
         job.killed = job.exceeds_walltime()
         duration = job.effective_runtime_on(self.speed)
         self.started_count += 1
-        self.kernel.schedule_at(
+        self._completion_events[job.job_id] = self.kernel.schedule_at(
             now + duration,
             self._complete_job,
             job,
@@ -297,6 +418,7 @@ class BatchServer:
     def _complete_job(self, job: Job) -> None:
         """Completion (or walltime kill) of a running job."""
         now = self.kernel.now
+        self._completion_events.pop(job.job_id, None)
         entry = self.cluster.finish_job(job.job_id, now)
         self._planner.job_finished(now, entry.walltime_end)
         job.state = JobState.COMPLETED

@@ -32,6 +32,7 @@ class JobRecord:
     state: JobState
     killed: bool
     reallocation_count: int
+    outage_kills: int = 0
 
     @property
     def response_time(self) -> Optional[float]:
@@ -63,6 +64,7 @@ class JobRecord:
             state=job.state,
             killed=job.killed,
             reallocation_count=job.reallocation_count,
+            outage_kills=job.outage_kills,
         )
 
     # ------------------------------------------------------------------ #
@@ -84,6 +86,7 @@ class JobRecord:
             "state": self.state.value,
             "killed": self.killed,
             "reallocation_count": self.reallocation_count,
+            "outage_kills": self.outage_kills,
         }
 
     @classmethod
@@ -102,6 +105,7 @@ class JobRecord:
             state=JobState(data["state"]),
             killed=bool(data["killed"]),
             reallocation_count=int(data["reallocation_count"]),
+            outage_kills=int(data.get("outage_kills", 0)),
         )
 
 
@@ -122,6 +126,13 @@ class RunResult:
         Number of reallocation ticks that fired.
     makespan:
         Simulated time at which the last job completed.
+    jobs_killed_by_outage:
+        Disruption accounting: running jobs killed by capacity shrinks
+        (a job killed by two outages counts twice).
+    jobs_requeued:
+        Outage-killed jobs re-entered at the head of their queue.
+    work_lost:
+        Core-seconds of execution thrown away by outage kills.
     metadata:
         Free-form configuration details (scenario, platform, policy, ...).
     """
@@ -131,6 +142,9 @@ class RunResult:
     total_reallocations: int = 0
     reallocation_events: int = 0
     makespan: float = 0.0
+    jobs_killed_by_outage: int = 0
+    jobs_requeued: int = 0
+    work_lost: float = 0.0
     metadata: Dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -143,6 +157,9 @@ class RunResult:
         jobs: Iterable[Job],
         total_reallocations: int = 0,
         reallocation_events: int = 0,
+        jobs_killed_by_outage: int = 0,
+        jobs_requeued: int = 0,
+        work_lost: float = 0.0,
         metadata: Optional[Mapping[str, object]] = None,
     ) -> "RunResult":
         """Build a result from the final state of the trace's jobs."""
@@ -157,6 +174,9 @@ class RunResult:
             total_reallocations=total_reallocations,
             reallocation_events=reallocation_events,
             makespan=makespan,
+            jobs_killed_by_outage=jobs_killed_by_outage,
+            jobs_requeued=jobs_requeued,
+            work_lost=work_lost,
             metadata=dict(metadata or {}),
         )
 
@@ -172,6 +192,9 @@ class RunResult:
             "total_reallocations": self.total_reallocations,
             "reallocation_events": self.reallocation_events,
             "makespan": self.makespan,
+            "jobs_killed_by_outage": self.jobs_killed_by_outage,
+            "jobs_requeued": self.jobs_requeued,
+            "work_lost": self.work_lost,
             "metadata": dict(self.metadata),
             "records": [
                 self.records[job_id].to_dict() for job_id in sorted(self.records)
@@ -190,6 +213,9 @@ class RunResult:
             total_reallocations=int(data["total_reallocations"]),
             reallocation_events=int(data["reallocation_events"]),
             makespan=float(data["makespan"]),
+            jobs_killed_by_outage=int(data.get("jobs_killed_by_outage", 0)),
+            jobs_requeued=int(data.get("jobs_requeued", 0)),
+            work_lost=float(data.get("work_lost", 0.0)),
             metadata=dict(data["metadata"]),
         )
 
@@ -219,6 +245,11 @@ class RunResult:
     def killed_count(self) -> int:
         """Number of jobs killed at their walltime."""
         return sum(1 for r in self.records.values() if r.killed)
+
+    @property
+    def disrupted_count(self) -> int:
+        """Number of distinct jobs killed at least once by an outage."""
+        return sum(1 for r in self.records.values() if r.outage_kills > 0)
 
     def completion_times(self) -> Dict[int, float]:
         """Job id -> completion time, for completed jobs only."""

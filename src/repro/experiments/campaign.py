@@ -50,6 +50,8 @@ from repro.experiments.config import (
 from repro.experiments.sweeps import paper_sweep
 from repro.grid.simulation import GridSimulation
 from repro.platform.catalog import platform_for_scenario
+from repro.platform.spec import PlatformSpec
+from repro.workload.failures import apply_outage_script
 from repro.store import (
     DEFAULT_STALE_LOCK_SECONDS,
     ResultStore,
@@ -127,6 +129,24 @@ def clear_trace_cache() -> None:
     _TRACE_STATS.hits = 0
 
 
+def experiment_platform(config: ExperimentConfig) -> "PlatformSpec":
+    """Platform of one configuration, with outage timelines attached.
+
+    Static configurations return the paper's platform untouched; a
+    configuration of the ``dynamic`` scenario family gets its outage
+    script applied, with the windows placed relative to the scenario's
+    *scaled* trace duration and the stochastic scripts seeded from the
+    run's workload seed.
+    """
+    platform = platform_for_scenario(config.scenario, config.heterogeneous)
+    if config.outage_script is not None:
+        duration = get_scenario(config.scenario).scaled_duration(config.scale)
+        platform = apply_outage_script(
+            platform, config.outage_script, duration, seed=config.seed
+        )
+    return platform
+
+
 def execute_config(
     config: ExperimentConfig, jobs: Optional[List[Job]] = None
 ) -> RunResult:
@@ -137,7 +157,7 @@ def execute_config(
     delegate here.  ``jobs`` may be supplied by callers that keep their own
     trace cache.
     """
-    platform = platform_for_scenario(config.scenario, config.heterogeneous)
+    platform = experiment_platform(config)
     if jobs is None:
         jobs = fresh_workload(config)
     simulation = GridSimulation(
@@ -154,6 +174,8 @@ def execute_config(
     result = simulation.run()
     result.metadata["scenario"] = config.scenario
     result.metadata["scale"] = config.scale
+    if config.outage_script is not None:
+        result.metadata["outage_script"] = config.outage_script
     return result
 
 
@@ -614,6 +636,14 @@ class UnitStatus:
     #: seconds since the claim's last heartbeat; only for ``claimed`` units
     heartbeat_age: Optional[float] = None
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (used by ``campaign status --json``)."""
+        data: Dict[str, Any] = {"label": self.label, "key": self.key, "state": self.state}
+        if self.state == "claimed":
+            data["owner"] = self.owner
+            data["heartbeat_age"] = self.heartbeat_age
+        return data
+
 
 @dataclass(slots=True)
 class SweepStatus:
@@ -651,6 +681,23 @@ class SweepStatus:
             and unit.heartbeat_age is not None
             and unit.heartbeat_age >= self.stale_after
         ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON snapshot for machine consumption (cross-host dashboards).
+
+        The same lock-free reads that feed the human-readable status view,
+        rendered as one document: counts, per-unit states, and the stale
+        claims a worker would take over.
+        """
+        return {
+            "total": self.total,
+            "done": self.done,
+            "claimed": self.claimed,
+            "pending": self.pending,
+            "stale_after": self.stale_after,
+            "units": [unit.to_dict() for unit in self.units],
+            "stale_claims": [unit.to_dict() for unit in self.stale_claims],
+        }
 
 
 def sweep_status(

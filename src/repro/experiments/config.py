@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # runtime import would be circular (sweeps -> config)
     from repro.experiments.sweeps import SweepSpec
 
 from repro.core.heuristics import HEURISTIC_NAMES
+from repro.workload.failures import OUTAGE_SCRIPT_NAMES
 from repro.workload.scenarios import SCENARIO_NAMES, get_scenario
 
 #: Approximate number of jobs per scenario used by the benchmark harness.
@@ -92,6 +93,14 @@ class ExperimentConfig:
         Timing parameters of the reallocation agent (paper defaults).
     mapping_policy:
         Online mapping policy of the meta-scheduler.
+    outage_script:
+        ``None`` for the paper's static platforms; otherwise the name of
+        a registered outage script (:data:`repro.workload.failures
+        .OUTAGE_SCRIPT_NAMES`) that makes the platform *dynamic* — the
+        ``dynamic`` scenario family is every scenario crossed with such a
+        script.  The script's windows are placed relative to the
+        scenario's scaled trace duration, and its stochastic variants
+        draw from the run's ``seed``.
     """
 
     scenario: str
@@ -104,6 +113,7 @@ class ExperimentConfig:
     reallocation_period: float = 3600.0
     reallocation_threshold: float = 60.0
     mapping_policy: str = "mct"
+    outage_script: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIO_NAMES:
@@ -129,11 +139,21 @@ class ExperimentConfig:
                 f"unknown mapping policy {self.mapping_policy!r}; "
                 f"expected one of {MAPPING_POLICY_NAMES}"
             )
+        if self.outage_script is not None and self.outage_script not in OUTAGE_SCRIPT_NAMES:
+            raise ValueError(
+                f"unknown outage script {self.outage_script!r}; "
+                f"expected None or one of {OUTAGE_SCRIPT_NAMES}"
+            )
 
     @property
     def is_baseline(self) -> bool:
         """True for the reference experiments without reallocation."""
         return self.algorithm is None
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when the run executes on a dynamic (outage-scripted) platform."""
+        return self.outage_script is not None
 
     def baseline(self) -> "ExperimentConfig":
         """The reference configuration this experiment is compared against.
@@ -162,9 +182,15 @@ class ExperimentConfig:
         The dictionary is the canonical form hashed by
         :func:`repro.store.config_key` and shipped across the campaign
         engine's process boundary, so it contains every field that
-        influences the simulation outcome.
+        influences the simulation outcome.  ``outage_script`` is omitted
+        while ``None`` so every static configuration keeps the exact
+        canonical form (and store key) it had before dynamic platforms
+        existed — warm stores stay warm.
         """
-        return asdict(self)
+        data = asdict(self)
+        if data["outage_script"] is None:
+            del data["outage_script"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
@@ -180,11 +206,14 @@ class ExperimentConfig:
             reallocation_period=float(data["reallocation_period"]),
             reallocation_threshold=float(data["reallocation_threshold"]),
             mapping_policy=data["mapping_policy"],
+            outage_script=data.get("outage_script"),
         )
 
     def label(self) -> str:
         """Short human-readable identifier."""
         flavour = "heter" if self.heterogeneous else "homog"
+        if self.outage_script is not None:
+            flavour = f"{flavour}+{self.outage_script}"
         if self.is_baseline:
             return f"{self.scenario}/{flavour}/{self.batch_policy}/baseline"
         return (

@@ -40,6 +40,7 @@ from repro.experiments.config import (
     ExperimentConfig,
     bench_scale,
 )
+from repro.workload.failures import OUTAGE_SCRIPT_NAMES
 from repro.workload.scenarios import SCENARIO_NAMES
 
 #: Reallocation algorithms a sweep may grid over (baselines are derived,
@@ -50,6 +51,7 @@ ALGORITHM_NAMES: Tuple[str, ...] = ("standard", "cancellation")
 AXIS_NAMES: Tuple[str, ...] = (
     "scenario",
     "platform",
+    "outage",
     "batch_policy",
     "algorithm",
     "heuristic",
@@ -86,6 +88,10 @@ class SweepSpec:
     scenarios / platforms / batch_policies / algorithms / heuristics /
     reallocation_periods / reallocation_thresholds / mapping_policies:
         The grid axes.  ``platforms`` holds ``heterogeneous`` flags.
+    outages:
+        Outage-script axis of the ``dynamic`` scenario family: ``None``
+        is the paper's static platform, a script name applies that
+        outage script to every cell of the coordinate.
     trace_fractions:
         Fractions of the sweep's base trace volume, each in (0, 1]: the
         scale of a cell is ``bench_scale(scenario, target_jobs) *
@@ -107,6 +113,7 @@ class SweepSpec:
     reallocation_periods: Tuple[float, ...] = (3600.0,)
     reallocation_thresholds: Tuple[float, ...] = (60.0,)
     mapping_policies: Tuple[str, ...] = ("mct",)
+    outages: Tuple[Optional[str], ...] = (None,)
     trace_fractions: Tuple[float, ...] = (1.0,)
     target_jobs: int = DEFAULT_BENCH_TARGET_JOBS
     seed: int = 20100326
@@ -122,6 +129,7 @@ class SweepSpec:
         _check_axis("reallocation_period", self.reallocation_periods)
         _check_axis("reallocation_threshold", self.reallocation_thresholds)
         _check_axis("mapping_policy", self.mapping_policies, MAPPING_POLICY_NAMES)
+        _check_axis("outage", self.outages, (None,) + OUTAGE_SCRIPT_NAMES)
         _check_axis("trace_fraction", self.trace_fractions)
         for fraction in self.trace_fractions:
             if not 0.0 < fraction <= 1.0:
@@ -149,6 +157,9 @@ class SweepSpec:
             "reallocation_period": self.reallocation_periods,
             "reallocation_threshold": self.reallocation_thresholds,
             "mapping_policy": self.mapping_policies,
+            # ``None`` renders as "static" so coordinates (and the sweep
+            # report's marginals) read naturally.
+            "outage": tuple(outage or "static" for outage in self.outages),
             "trace_fraction": self.trace_fractions,
         }
 
@@ -159,48 +170,52 @@ class SweepSpec:
     def cells(self) -> List[Tuple[ExperimentConfig, Dict[str, Any]]]:
         """Every cell of the grid, with its axis coordinates.
 
-        Expansion is a fixed nested loop — scenario, platform, batch
-        policy, algorithm, heuristic, period, threshold, mapping policy,
-        trace fraction, outer to inner — so the cell order (and with it
-        claim order, store layout and report order) is deterministic.
+        Expansion is a fixed nested loop — scenario, platform, outage
+        script, batch policy, algorithm, heuristic, period, threshold,
+        mapping policy, trace fraction, outer to inner — so the cell order
+        (and with it claim order, store layout and report order) is
+        deterministic.
         """
         result: List[Tuple[ExperimentConfig, Dict[str, Any]]] = []
         for scenario in self.scenarios:
             base_scale = bench_scale(scenario, self.target_jobs)
             for heterogeneous in self.platforms:
-                for batch_policy in self.batch_policies:
-                    for algorithm in self.algorithms:
-                        for heuristic in self.heuristics:
-                            for period in self.reallocation_periods:
-                                for threshold in self.reallocation_thresholds:
-                                    for mapping in self.mapping_policies:
-                                        for fraction in self.trace_fractions:
-                                            config = ExperimentConfig(
-                                                scenario=scenario,
-                                                heterogeneous=heterogeneous,
-                                                batch_policy=batch_policy,
-                                                algorithm=algorithm,
-                                                heuristic=heuristic,
-                                                scale=base_scale * fraction,
-                                                seed=self.seed,
-                                                reallocation_period=period,
-                                                reallocation_threshold=threshold,
-                                                mapping_policy=mapping,
-                                            )
-                                            coords = {
-                                                "scenario": scenario,
-                                                "platform": "heterogeneous"
-                                                if heterogeneous
-                                                else "homogeneous",
-                                                "batch_policy": batch_policy,
-                                                "algorithm": algorithm,
-                                                "heuristic": heuristic,
-                                                "reallocation_period": period,
-                                                "reallocation_threshold": threshold,
-                                                "mapping_policy": mapping,
-                                                "trace_fraction": fraction,
-                                            }
-                                            result.append((config, coords))
+                for outage in self.outages:
+                    for batch_policy in self.batch_policies:
+                        for algorithm in self.algorithms:
+                            for heuristic in self.heuristics:
+                                for period in self.reallocation_periods:
+                                    for threshold in self.reallocation_thresholds:
+                                        for mapping in self.mapping_policies:
+                                            for fraction in self.trace_fractions:
+                                                config = ExperimentConfig(
+                                                    scenario=scenario,
+                                                    heterogeneous=heterogeneous,
+                                                    batch_policy=batch_policy,
+                                                    algorithm=algorithm,
+                                                    heuristic=heuristic,
+                                                    scale=base_scale * fraction,
+                                                    seed=self.seed,
+                                                    reallocation_period=period,
+                                                    reallocation_threshold=threshold,
+                                                    mapping_policy=mapping,
+                                                    outage_script=outage,
+                                                )
+                                                coords = {
+                                                    "scenario": scenario,
+                                                    "platform": "heterogeneous"
+                                                    if heterogeneous
+                                                    else "homogeneous",
+                                                    "outage": outage or "static",
+                                                    "batch_policy": batch_policy,
+                                                    "algorithm": algorithm,
+                                                    "heuristic": heuristic,
+                                                    "reallocation_period": period,
+                                                    "reallocation_threshold": threshold,
+                                                    "mapping_policy": mapping,
+                                                    "trace_fraction": fraction,
+                                                }
+                                                result.append((config, coords))
         return result
 
     def configs(self) -> List[ExperimentConfig]:
@@ -283,6 +298,16 @@ def _builtin_sweeps() -> Dict[str, SweepSpec]:
             algorithms=ALGORITHM_NAMES,
             heuristics=("minmin",),
             mapping_policies=MAPPING_POLICY_NAMES,
+        ),
+        SweepSpec(
+            name="outage-grid",
+            description="Dynamic platforms: every paper scenario under each "
+            "outage script (maintenance, degraded, join-leave, flaky)",
+            scenarios=SCENARIO_NAMES,
+            batch_policies=BATCH_POLICIES,
+            algorithms=("standard",),
+            heuristics=("mct",),
+            outages=OUTAGE_SCRIPT_NAMES,
         ),
         SweepSpec(
             name="trace-fraction-grid",

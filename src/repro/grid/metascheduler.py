@@ -89,8 +89,17 @@ class MetaScheduler:
         raise KeyError(f"no server named {name!r}")
 
     def eligible_servers(self, job: Job) -> List[BatchServer]:
-        """Servers whose cluster is large enough for the job."""
+        """Servers whose cluster is nominally large enough for the job."""
         return [server for server in self.servers if server.fits(job)]
+
+    def available_servers(self, job: Job) -> List[BatchServer]:
+        """Eligible servers whose *current* capacity fits the job.
+
+        On a static platform this equals :meth:`eligible_servers`; on a
+        dynamic one it excludes clusters that are down or degraded below
+        the job's request right now.
+        """
+        return [server for server in self.servers if server.fits_now(job)]
 
     def estimate_all(self, job: Job) -> Dict[str, float]:
         """ECT of the job on every eligible server (what MCT queries)."""
@@ -117,21 +126,31 @@ class MetaScheduler:
         eligible = self.eligible_servers(job)
         if not eligible:
             return None
+        # Failure-aware mapping: prefer clusters that are up *right now*.
+        # When every eligible cluster is down (or degraded below the
+        # request), fall back to the nominal set — the job then waits on
+        # whichever queue the policy picks until a recovery event replans
+        # it.  On a static platform ``available == eligible``, so every
+        # policy below behaves exactly as it always did.
+        available = self.available_servers(job)
+        pool = available or eligible
         if self.policy is MappingPolicy.MCT:
-            return self._choose_mct(job, eligible)
+            return self._choose_mct(job, pool)
         if self.policy is MappingPolicy.RANDOM:
-            index = int(self._rng.integers(0, len(eligible)))
-            return eligible[index]
+            index = int(self._rng.integers(0, len(pool)))
+            return pool[index]
         if self.policy is MappingPolicy.LESS_JOBS_IN_QUEUE:
-            return min(eligible, key=lambda s: (s.queue_length, s.name))
+            return min(pool, key=lambda s: (s.queue_length, s.name))
         if self.policy is MappingPolicy.LESS_WORK_LEFT:
-            return min(eligible, key=lambda s: (s.work_left(), s.name))
+            return min(pool, key=lambda s: (s.work_left(), s.name))
         # Round robin walks over the full server list, skipping clusters the
-        # job does not fit on.
+        # job does not fit on (and, while any cluster is available, clusters
+        # that are currently down).
+        accepts = BatchServer.fits_now if available else BatchServer.fits
         for _ in range(len(self.servers)):
             candidate = self.servers[self._round_robin_index % len(self.servers)]
             self._round_robin_index += 1
-            if candidate.fits(job):
+            if accepts(candidate, job):
                 return candidate
         return None
 

@@ -83,6 +83,14 @@ class _EstimateTable:
     :meth:`BatchServer.estimate_completion_many`, so the per-query planner
     bookkeeping is paid once per touched cluster instead of once per
     (job, cluster) pair.
+
+    Fitting is judged against the *current* capacity
+    (:meth:`BatchServer.fits_now`): on a dynamic platform the column of a
+    down cluster is masked exactly like a cluster the job never fit on —
+    down clusters attract no moves, and a job stranded on one has an
+    infinite current ECT, so any live cluster wins it over.  A later tick
+    rebuilt after the recovery re-enters the column naturally.  On a
+    static platform ``fits_now`` equals ``fits`` and nothing changes.
     """
 
     def __init__(self, servers: Sequence[BatchServer]) -> None:
@@ -111,7 +119,7 @@ class _EstimateTable:
         """Register a candidate and compute its ECT on every fitting cluster."""
         ects: Dict[str, float] = {}
         for name, server in self._servers.items():
-            if not server.fits(job):
+            if not server.fits_now(job):
                 continue
             if name == current_cluster and job.state is JobState.WAITING:
                 ects[name] = current_ect
@@ -130,7 +138,7 @@ class _EstimateTable:
         for name, server in self._servers.items():
             batch: List[Job] = []
             for job, planned in entries:
-                if not server.fits(job):
+                if not server.fits_now(job):
                     continue
                 if name == job.cluster and job.state is JobState.WAITING:
                     ects_of[job.job_id][name] = planned
@@ -154,7 +162,7 @@ class _EstimateTable:
         ects: Dict[str, float] = {
             name: server.estimate_completion(job)
             for name, server in self._servers.items()
-            if server.fits(job)
+            if server.fits_now(job)
         }
         self._insert(job, ects, origin, ects.get(origin, math.inf))
 
@@ -162,7 +170,7 @@ class _EstimateTable:
         """Batched Algorithm 2 build over the whole cancelled set."""
         ects_of: Dict[int, Dict[str, float]] = {job.job_id: {} for job in jobs}
         for name, server in self._servers.items():
-            batch = [job for job in jobs if server.fits(job)]
+            batch = [job for job in jobs if server.fits_now(job)]
             for job, value in zip(batch, server.estimate_completion_many(batch)):
                 ects_of[job.job_id][name] = value
         for job in jobs:
@@ -230,7 +238,7 @@ class _EstimateTable:
                     and job.state is JobState.WAITING
                     and job.cluster == current_cluster
                 )
-                if not server.fits(job):
+                if not server.fits_now(job):
                     matrix.clear_entry(row, name)
                     if name == current_cluster and not waiting_here:
                         # An Algorithm 2 candidate whose origin can no

@@ -111,6 +111,7 @@ class GridSimulation:
                 spec.speed,
                 policy=self.batch_policy,
                 on_completion=self._on_completion,
+                timeline=spec.timeline,
             )
             for spec in platform
         ]
@@ -181,11 +182,17 @@ class GridSimulation:
             "n_jobs": len(self.jobs),
             "rejected": self.metascheduler.rejected_count,
         }
+        if self.platform.is_dynamic:
+            metadata["dynamic_platform"] = True
+            metadata["capacity_changes"] = sum(s.capacity_changes for s in self.servers)
         return RunResult.from_jobs(
             label,
             self.jobs,
             total_reallocations=total_moves,
             reallocation_events=tick_count,
+            jobs_killed_by_outage=sum(s.outage_killed_count for s in self.servers),
+            jobs_requeued=sum(s.requeued_count for s in self.servers),
+            work_lost=sum(s.work_lost for s in self.servers),
             metadata=metadata,
         )
 

@@ -14,12 +14,20 @@ from repro.platform.catalog import (
     pwa_g5k_platform,
 )
 from repro.platform.spec import ClusterSpec, PlatformSpec
+from repro.platform.timeline import (
+    AvailabilityTimeline,
+    CapacityInterval,
+    TimelineError,
+)
 
 __all__ = [
     "GRID5000_SITES",
     "PWA_G5K_SITES",
+    "AvailabilityTimeline",
+    "CapacityInterval",
     "ClusterSpec",
     "PlatformSpec",
+    "TimelineError",
     "grid5000_platform",
     "platform_for_scenario",
     "pwa_g5k_platform",

@@ -9,8 +9,10 @@ heterogeneous, FCFS vs CBF, with or without reallocation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping, Optional, Tuple
+
+from repro.platform.timeline import AvailabilityTimeline
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,21 +28,38 @@ class ClusterSpec:
         Number of cores.
     speed:
         Relative speed factor; 1.0 is the reference (slowest) cluster.
+    timeline:
+        Optional :class:`~repro.platform.timeline.AvailabilityTimeline`
+        describing outage / maintenance / join-leave / degraded-capacity
+        windows.  ``None`` (or a trivial timeline) means the cluster is
+        statically available — the historical behaviour.
     """
 
     name: str
     procs: int
     speed: float = 1.0
+    timeline: Optional[AvailabilityTimeline] = None
 
     def __post_init__(self) -> None:
         if self.procs <= 0:
             raise ValueError(f"cluster {self.name}: procs must be positive, got {self.procs}")
         if self.speed <= 0:
             raise ValueError(f"cluster {self.name}: speed must be positive, got {self.speed}")
+        if self.timeline is not None:
+            self.timeline.validate_for(self.procs, cluster=self.name)
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when a non-trivial availability timeline is attached."""
+        return self.timeline is not None and not self.timeline.is_trivial
 
     def homogeneous(self) -> "ClusterSpec":
         """Copy of this spec with the speed reset to the reference value 1.0."""
-        return ClusterSpec(self.name, self.procs, 1.0)
+        return ClusterSpec(self.name, self.procs, 1.0, self.timeline)
+
+    def with_timeline(self, timeline: Optional[AvailabilityTimeline]) -> "ClusterSpec":
+        """Copy of this spec with ``timeline`` attached (``None`` detaches)."""
+        return replace(self, timeline=timeline)
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,4 +115,42 @@ class PlatformSpec:
         return PlatformSpec(
             f"{self.name}-homogeneous",
             tuple(c.homogeneous() for c in self.clusters),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dynamic platforms                                                  #
+    # ------------------------------------------------------------------ #
+    @property
+    def is_dynamic(self) -> bool:
+        """True when any cluster carries a non-trivial availability timeline."""
+        return any(c.is_dynamic for c in self.clusters)
+
+    def with_timelines(
+        self, timelines: Mapping[str, Optional[AvailabilityTimeline]]
+    ) -> "PlatformSpec":
+        """Copy of this platform with per-cluster timelines attached.
+
+        ``timelines`` maps cluster names to timelines; clusters absent
+        from the mapping keep their current timeline.  Unknown cluster
+        names are rejected.
+        """
+        known = set(self.cluster_names)
+        for name in timelines:
+            if name not in known:
+                raise ValueError(
+                    f"platform {self.name}: cannot attach a timeline to unknown "
+                    f"cluster {name!r} (clusters: {self.cluster_names})"
+                )
+        return PlatformSpec(
+            self.name,
+            tuple(
+                c.with_timeline(timelines[c.name]) if c.name in timelines else c
+                for c in self.clusters
+            ),
+        )
+
+    def static(self) -> "PlatformSpec":
+        """Copy of this platform with every timeline detached."""
+        return PlatformSpec(
+            self.name, tuple(c.with_timeline(None) for c in self.clusters)
         )

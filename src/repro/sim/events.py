@@ -18,15 +18,17 @@ class EventType(enum.IntEnum):
 
     The integer value doubles as the default priority of the event type:
     when several events share the same timestamp, job completions are
-    processed before new submissions, which are processed before
-    reallocation ticks.  This mirrors the behaviour of a real batch system
-    where the scheduler observes terminations before it looks at the
-    submission socket, and the middleware reallocation agent only ever sees
-    a consistent queue snapshot.
+    processed before resource (capacity) changes, which are processed
+    before new submissions, which are processed before reallocation ticks.
+    This mirrors the behaviour of a real batch system where the scheduler
+    observes terminations before it looks at the submission socket, and
+    the middleware reallocation agent only ever sees a consistent queue
+    snapshot.  A job completing exactly when an outage starts therefore
+    completes normally instead of being killed and requeued.
     """
 
     JOB_COMPLETION = 0
-    JOB_KILL = 1
+    RESOURCE_CHANGE = 1
     JOB_SUBMISSION = 2
     REALLOCATION = 3
     GENERIC = 4

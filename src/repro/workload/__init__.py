@@ -14,6 +14,13 @@ provides two paths:
   of the paper with the per-site job counts of Table 1.
 """
 
+from repro.workload.failures import (
+    OUTAGE_SCRIPT_NAMES,
+    OUTAGE_SCRIPTS,
+    FailureModel,
+    apply_outage_script,
+    generate_failure_timelines,
+)
 from repro.workload.scenarios import (
     SCENARIO_NAMES,
     Scenario,
@@ -25,11 +32,16 @@ from repro.workload.swf import SWFError, parse_swf, parse_swf_file, write_swf
 from repro.workload.synthetic import SiteWorkloadModel, generate_site_trace, merge_traces
 
 __all__ = [
+    "OUTAGE_SCRIPTS",
+    "OUTAGE_SCRIPT_NAMES",
     "SCENARIO_NAMES",
     "SWFError",
+    "FailureModel",
     "Scenario",
     "SiteWorkloadModel",
     "all_scenarios",
+    "apply_outage_script",
+    "generate_failure_timelines",
     "generate_site_trace",
     "get_scenario",
     "merge_traces",

@@ -1,0 +1,239 @@
+"""Failure models and outage scripts for dynamic platforms.
+
+Two layers live here:
+
+* :class:`FailureModel` — a *seeded stochastic generator* of
+  :class:`~repro.platform.timeline.AvailabilityTimeline` objects: failures
+  arrive per cluster as a Poisson process (exponential gaps), last an
+  exponentially distributed time, and take the cluster fully down or —
+  with probability ``degraded_probability`` — degrade it to a random
+  fraction of its size.  The draw is fully determined by ``(seed, cluster
+  name)``, so the same configuration always produces the same platform
+  dynamics, on any host, in any worker process.
+
+* **Outage scripts** — the named, declarative members of the ``dynamic``
+  scenario family.  A script turns a static
+  :class:`~repro.platform.spec.PlatformSpec` plus the scenario's (scaled)
+  trace duration into the same platform with timelines attached:
+
+  ``maintenance``
+      The reference (first, largest-volume) cluster is down for a window
+      of 15 % of the trace starting at 25 % — a planned maintenance.
+  ``degraded``
+      The reference cluster runs at half capacity over the middle half of
+      the trace — a partial failure.
+  ``join-leave``
+      The last cluster joins the grid only at 15 % of the trace and
+      leaves at 85 % — mimicking a volunteer resource.  The leave window
+      closes at the trace horizon so baseline runs (which have no agent
+      to rescue the killed jobs) still complete every job.
+  ``flaky``
+      Every cluster suffers seeded stochastic failures drawn from a
+      :class:`FailureModel` calibrated to the trace length (three
+      expected failures per cluster, mean outage of 4 % of the trace).
+
+Each paper scenario crossed with one of these scripts is one member of
+the ``dynamic`` scenario family; the ``outage-grid`` sweep
+(:mod:`repro.experiments.sweeps`) grids over exactly that product, and
+``ExperimentConfig.outage_script`` names the script of a single run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.platform.spec import ClusterSpec, PlatformSpec
+from repro.platform.timeline import AvailabilityTimeline, CapacityInterval
+
+#: Upper bound on failures drawn per cluster (guards against degenerate
+#: parameters producing unbounded event lists).
+MAX_FAILURES_PER_CLUSTER = 64
+
+
+@dataclass(frozen=True, slots=True)
+class FailureModel:
+    """Seeded stochastic generator of per-cluster availability timelines.
+
+    Parameters
+    ----------
+    mean_time_between:
+        Mean seconds between failure arrivals (exponential gaps).
+    mean_outage:
+        Mean seconds a failure lasts (exponential, floored at 60 s).
+    degraded_probability:
+        Probability that a failure only *degrades* the cluster (to a
+        uniform fraction of 25–75 % of its size) instead of taking it
+        fully down.
+    seed:
+        Base seed; the per-cluster stream is derived from it and the
+        cluster name, so adding a cluster never reshuffles the failures
+        of the others.
+    """
+
+    mean_time_between: float
+    mean_outage: float
+    degraded_probability: float = 0.0
+    seed: int = 20100326
+
+    def __post_init__(self) -> None:
+        if self.mean_time_between <= 0:
+            raise ValueError(
+                f"mean_time_between must be positive, got {self.mean_time_between}"
+            )
+        if self.mean_outage <= 0:
+            raise ValueError(f"mean_outage must be positive, got {self.mean_outage}")
+        if not 0.0 <= self.degraded_probability <= 1.0:
+            raise ValueError(
+                f"degraded_probability must be in [0, 1], got {self.degraded_probability}"
+            )
+
+    def rng_for(self, cluster_name: str) -> np.random.Generator:
+        """Deterministic per-cluster random stream."""
+        return np.random.default_rng([self.seed, zlib.crc32(cluster_name.encode("utf-8"))])
+
+    def timeline_for(self, cluster: ClusterSpec, horizon: float) -> AvailabilityTimeline:
+        """Draw the failure timeline of one cluster over ``[0, horizon)``."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        rng = self.rng_for(cluster.name)
+        intervals: List[CapacityInterval] = []
+        time = 0.0
+        while len(intervals) < MAX_FAILURES_PER_CLUSTER:
+            time += float(rng.exponential(self.mean_time_between))
+            if time >= horizon:
+                break
+            length = max(60.0, float(rng.exponential(self.mean_outage)))
+            end = min(time + length, horizon)
+            if rng.random() < self.degraded_probability:
+                fraction = float(rng.uniform(0.25, 0.75))
+                capacity = max(1, int(cluster.procs * fraction))
+                kind = "degraded"
+            else:
+                capacity = 0
+                kind = "outage"
+            intervals.append(CapacityInterval(time, end, capacity, kind))
+            time = end
+        return AvailabilityTimeline(tuple(intervals))
+
+    def timelines_for(
+        self, platform: PlatformSpec, horizon: float
+    ) -> Dict[str, AvailabilityTimeline]:
+        """One drawn timeline per cluster of ``platform``."""
+        return {
+            cluster.name: self.timeline_for(cluster, horizon) for cluster in platform
+        }
+
+
+def generate_failure_timelines(
+    platform: PlatformSpec,
+    horizon: float,
+    seed: int = 20100326,
+    mean_time_between: Optional[float] = None,
+    mean_outage: Optional[float] = None,
+    degraded_probability: float = 0.0,
+) -> Dict[str, AvailabilityTimeline]:
+    """Convenience wrapper: seeded failure timelines for a whole platform.
+
+    Defaults calibrate to the horizon — a mean of three failures per
+    cluster, each lasting 4 % of the horizon on average.
+    """
+    model = FailureModel(
+        mean_time_between=mean_time_between or horizon / 3.0,
+        mean_outage=mean_outage or horizon / 25.0,
+        degraded_probability=degraded_probability,
+        seed=seed,
+    )
+    return model.timelines_for(platform, horizon)
+
+
+# --------------------------------------------------------------------- #
+# Named outage scripts (the `dynamic` scenario family)                  #
+# --------------------------------------------------------------------- #
+ScriptFn = Callable[[PlatformSpec, float, int], Dict[str, AvailabilityTimeline]]
+
+
+def _script_maintenance(
+    platform: PlatformSpec, duration: float, seed: int
+) -> Dict[str, AvailabilityTimeline]:
+    reference = platform.clusters[0]
+    timeline = AvailabilityTimeline().with_maintenance(0.25 * duration, 0.40 * duration)
+    return {reference.name: timeline}
+
+
+def _script_degraded(
+    platform: PlatformSpec, duration: float, seed: int
+) -> Dict[str, AvailabilityTimeline]:
+    reference = platform.clusters[0]
+    timeline = AvailabilityTimeline().with_degraded(
+        0.25 * duration, 0.75 * duration, max(1, reference.procs // 2)
+    )
+    return {reference.name: timeline}
+
+
+def _script_join_leave(
+    platform: PlatformSpec, duration: float, seed: int
+) -> Dict[str, AvailabilityTimeline]:
+    # The leave window closes at the trace horizon rather than extending to
+    # infinity: jobs killed at the leave (and requeued on the volunteer's
+    # own queue) would otherwise never complete in baseline runs — no
+    # reallocation agent rescues them — and the baseline-vs-reallocation
+    # metrics would silently compare different job populations.  Returning
+    # at the horizon keeps every run's population complete while still
+    # charging the full disruption to the response times.
+    volunteer = platform.clusters[-1]
+    timeline = AvailabilityTimeline(
+        (
+            CapacityInterval(0.0, 0.15 * duration, 0, "join"),
+            CapacityInterval(0.85 * duration, duration, 0, "leave"),
+        )
+    )
+    return {volunteer.name: timeline}
+
+
+def _script_flaky(
+    platform: PlatformSpec, duration: float, seed: int
+) -> Dict[str, AvailabilityTimeline]:
+    return generate_failure_timelines(
+        platform, duration, seed=seed, degraded_probability=0.5
+    )
+
+
+#: Registry of the named outage scripts of the ``dynamic`` scenario family.
+OUTAGE_SCRIPTS: Dict[str, ScriptFn] = {
+    "maintenance": _script_maintenance,
+    "degraded": _script_degraded,
+    "join-leave": _script_join_leave,
+    "flaky": _script_flaky,
+}
+
+#: Sorted names of the outage scripts (CLI / config / sweep-axis choices).
+OUTAGE_SCRIPT_NAMES: Tuple[str, ...] = tuple(sorted(OUTAGE_SCRIPTS))
+
+
+def apply_outage_script(
+    platform: PlatformSpec,
+    script: str,
+    duration: float,
+    seed: int = 20100326,
+) -> PlatformSpec:
+    """Attach the timelines of a named outage script to ``platform``.
+
+    ``duration`` is the scenario's *scaled* trace length
+    (:meth:`repro.workload.scenarios.Scenario.scaled_duration`), so the
+    windows land at the same relative position whatever the trace volume.
+    The returned platform is a copy; the input stays static.
+    """
+    try:
+        builder = OUTAGE_SCRIPTS[script]
+    except KeyError as exc:
+        valid = ", ".join(OUTAGE_SCRIPT_NAMES)
+        raise ValueError(
+            f"unknown outage script {script!r}; expected one of {valid}"
+        ) from exc
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    return platform.with_timelines(builder(platform, duration, seed))

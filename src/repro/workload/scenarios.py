@@ -104,6 +104,18 @@ class Scenario:
             raise ValueError(f"scale must be positive, got {scale}")
         return {site: max(1, int(round(count * scale))) for site, count in self.site_counts.items()}
 
+    def scaled_duration(self, scale: float) -> float:
+        """Length of the submission window after applying ``scale``.
+
+        The same floor :meth:`generate` applies (a trace never shrinks
+        below four hours), exposed so outage scripts can place their
+        windows relative to the *actual* trace length without duplicating
+        the formula.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return max(self.duration * scale, 4 * 3600.0)
+
     def generate(
         self,
         platform: PlatformSpec,
@@ -120,7 +132,7 @@ class Scenario:
         if scale <= 0:
             raise ValueError(f"scale must be positive, got {scale}")
         base_seed = self.seed if seed is None else seed
-        duration = max(self.duration * scale, 4 * 3600.0)
+        duration = self.scaled_duration(scale)
         counts = self.scaled_counts(scale)
         traces: List[List[Job]] = []
         for index, site in enumerate(self.sites):

@@ -205,3 +205,39 @@ class TestTimelines:
             b.core_seconds for b in per_cluster_breakdown(run).values()
         )
         assert series.mean_over(0.0, run.makespan) * run.makespan == pytest.approx(core_seconds)
+
+
+class TestBenchReportSerialization:
+    def test_canonical_form_is_sorted_and_rounded(self):
+        from repro.analysis.benchio import dumps_bench_report
+
+        report = {"zeta": 0.123456789, "alpha": {"b": 2, "a": True}, "list": [1.00004, "x"]}
+        text = dumps_bench_report(report)
+        assert text.endswith("\n") and not text.endswith("\n\n")
+        assert text.index('"alpha"') < text.index('"list"') < text.index('"zeta"')
+        assert "0.1235" in text and "1.0" in text
+        assert "0.123456789" not in text
+        # Serialization is idempotent and bools survive the float rounding.
+        assert dumps_bench_report(report) == text
+        assert '"a": true' in text
+
+    def test_rerun_with_identical_content_does_not_touch_the_file(self, tmp_path):
+        import os
+
+        from repro.analysis.benchio import dump_bench_report
+
+        path = tmp_path / "BENCH_x.json"
+        dump_bench_report(path, {"speedup": 4.52001})
+        first = path.read_text()
+        stamp = os.stat(path).st_mtime_ns
+        os.utime(path, ns=(stamp - 10_000_000_000, stamp - 10_000_000_000))
+        stamp = os.stat(path).st_mtime_ns
+        dump_bench_report(path, {"speedup": 4.520011})  # rounds identically
+        assert path.read_text() == first
+        assert os.stat(path).st_mtime_ns == stamp
+
+    def test_non_json_values_are_rejected(self):
+        from repro.analysis.benchio import dumps_bench_report
+
+        with pytest.raises(TypeError):
+            dumps_bench_report({"bad": object()})

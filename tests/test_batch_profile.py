@@ -19,9 +19,14 @@ class TestConstruction:
 
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
-            AvailabilityProfile(0)
-        with pytest.raises(ValueError):
             AvailabilityProfile(-4)
+
+    def test_zero_capacity_is_a_down_cluster(self):
+        # Since the dynamic-platform refactor a fully-down cluster is a
+        # first-class profile: nothing is free and nothing can be placed.
+        profile = AvailabilityProfile(0)
+        assert profile.free_at(0.0) == 0
+        assert profile.earliest_slot(1, 10.0, 0.0) == math.inf
 
     def test_query_before_start_clamps(self):
         profile = AvailabilityProfile(8, start_time=100.0)

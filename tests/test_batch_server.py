@@ -227,6 +227,47 @@ class TestBatchedEstimation:
         assert server.queue_length == before
         assert all(job.state is JobState.PENDING for job in probes)
 
+    @pytest.mark.parametrize("policy", ["fcfs", "cbf"])
+    def test_empty_batch_on_a_busy_server(self, kernel, policy):
+        # The degenerate fast path must not advance or replan anything.
+        server = make_server(kernel, procs=4, policy=policy)
+        server.submit(make_job(1, procs=4, runtime=400.0, walltime=400.0))
+        server.submit(make_job(2, procs=4, runtime=100.0, walltime=200.0))
+        plan_before = {e.job_id: (e.planned_start, e.planned_end)
+                       for e in server.planned_schedule()}
+        assert server.estimate_completion_many([]) == []
+        plan_after = {e.job_id: (e.planned_start, e.planned_end)
+                      for e in server.planned_schedule()}
+        assert plan_after == plan_before
+
+    @pytest.mark.parametrize("policy", ["fcfs", "cbf"])
+    def test_all_non_fitting_batch_is_all_infinite(self, kernel, policy):
+        server = make_server(kernel, procs=4, policy=policy)
+        probes = [make_job(i, procs=5 + i) for i in range(3)]
+        assert server.estimate_completion_many(probes) == [math.inf] * 3
+        # A fully-down cluster degrades every estimate the same way, even
+        # for jobs that nominally fit.
+        server.apply_capacity_change(0)
+        fitting = [make_job(10 + i, procs=1 + i) for i in range(3)]
+        assert server.estimate_completion_many(fitting) == [math.inf] * 3
+
+    @pytest.mark.parametrize("policy", ["fcfs", "cbf"])
+    def test_single_cluster_platform_batch(self, kernel, policy):
+        # The one-server degenerate of the grid layer's column refresh:
+        # batched answers must equal the scalar query with nobody else to
+        # compare against, mixed fits included.
+        server = make_server(kernel, procs=4, policy=policy)
+        server.submit(make_job(1, procs=4, runtime=300.0, walltime=400.0))
+        probes = [
+            make_job(10, procs=1, runtime=50.0, walltime=100.0),
+            make_job(11, procs=4, runtime=50.0, walltime=100.0),
+            make_job(12, procs=9),  # never fits
+        ]
+        batched = server.estimate_completion_many(probes)
+        assert batched == [server.estimate_completion(job) for job in probes]
+        assert math.isfinite(batched[0]) and math.isfinite(batched[1])
+        assert batched[2] == math.inf
+
 
 class TestWaitingQueue:
     def test_waiting_jobs_snapshot_in_queue_order(self, kernel):

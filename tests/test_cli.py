@@ -313,3 +313,77 @@ class TestCampaignConfigs:
         small = {config_key(c) for c in campaign_configs("paper", target_jobs=TARGET)}
         large = {config_key(c) for c in campaign_configs("paper", target_jobs=2 * TARGET)}
         assert small.isdisjoint(large)
+
+
+class TestStatusJson:
+    def test_json_snapshot_of_an_untouched_sweep(self, tmp_path, capsys):
+        import json
+
+        code = main([
+            "campaign", "status", "--sweep", "threshold-grid",
+            "--target-jobs", str(TARGET), "--store", str(tmp_path / "store"),
+            "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["sweep"] == "threshold-grid"
+        assert document["done"] == 0 and document["claimed"] == 0
+        assert document["pending"] == document["total"] == len(document["units"])
+        assert all(unit["state"] == "pending" for unit in document["units"])
+        assert document["stale_claims"] == []
+
+    def test_json_snapshot_reports_claims_with_owner_and_age(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.campaign import plan_units
+        from repro.experiments.sweeps import get_sweep
+
+        spec = get_sweep("threshold-grid", target_jobs=TARGET)
+        units = plan_units(spec.configs())
+        store = ResultStore(tmp_path / "store")
+        assert store.try_claim(units[0], owner="host-a:1")
+        assert main([
+            "campaign", "status", "--sweep", "threshold-grid",
+            "--target-jobs", str(TARGET), "--store", str(tmp_path / "store"),
+            "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["claimed"] == 1
+        claimed = [u for u in document["units"] if u["state"] == "claimed"]
+        assert claimed[0]["owner"] == "host-a:1"
+        assert claimed[0]["heartbeat_age"] >= 0.0
+        assert claimed[0]["key"] == config_key(units[0])
+
+
+class TestOutageSweepCli:
+    def test_outage_grid_sweep_reports_disruptions(self, tmp_path, capsys, monkeypatch):
+        # Shrink the grid to one dynamic cell family so the test stays fast.
+        from repro.experiments import sweeps as sweeps_module
+
+        tiny = sweeps_module.SweepSpec(
+            name="outage-grid",
+            scenarios=("feb",),
+            batch_policies=("fcfs",),
+            algorithms=("standard",),
+            heuristics=("mct",),
+            outages=("maintenance",),
+            target_jobs=TARGET,
+        )
+        monkeypatch.setitem(sweeps_module.SWEEP_REGISTRY, "outage-grid", tiny)
+        code = main([
+            "campaign", "sweep", "outage-grid", "--target-jobs", str(TARGET),
+            "--store", str(tmp_path / "store"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "outage-grid" in out
+        assert "disruptions:" in out
+        killed = int(out.split("disruptions: ")[1].split(" jobs")[0])
+        assert killed > 0
+
+    def test_static_sweeps_print_no_disruption_line(self, tmp_path, capsys):
+        assert main([
+            "campaign", "sweep", "threshold-grid", "--target-jobs", str(TARGET),
+            "--store", str(tmp_path / "store"),
+        ]) == 0
+        assert "disruptions:" not in capsys.readouterr().out

@@ -272,10 +272,10 @@ class TestTableStalePrune:
         table.add_cancelled_many([job], {1: "beta"})
         assert set(table.estimate_of(1).ects) == {"alpha", "beta"}
 
-        # The job "stops fitting" on alpha (e.g. a capability change the
-        # static procs check cannot express); the refresh must stale-prune
-        # alpha's entry instead of keeping the outdated ECT.
-        alpha.cluster.fits = lambda candidate: False
+        # The job stops fitting on alpha (a capacity change degrades the
+        # cluster below the request); the refresh must stale-prune alpha's
+        # entry instead of keeping the outdated ECT.
+        alpha.cluster.apply_capacity(2, kernel.now)
         table.refresh_clusters({"alpha"})
         estimate = table.estimate_of(1)
         assert set(estimate.ects) == {"beta"}
@@ -295,8 +295,47 @@ class TestTableStalePrune:
         table.add_cancelled_many([job], {1: "beta"})
         assert math.isfinite(table.estimate_of(1).current_ect)
 
-        beta.cluster.fits = lambda candidate: False
+        beta.apply_capacity_change(0)
         table.refresh_clusters({"beta"})
         estimate = table.estimate_of(1)
         assert set(estimate.ects) == {"alpha"}
         assert estimate.current_ect == math.inf  # resubmitting there is impossible
+
+
+class TestColumnMaskingRoundTrip:
+    """Masked columns re-enter cleanly: mask -> refresh -> unmask."""
+
+    def test_outage_masks_and_recovery_unmasks_the_column(self, kernel):
+        from repro.grid.reallocation import _EstimateTable
+        from tests.conftest import make_server
+
+        alpha = make_server(kernel, "alpha", procs=8)
+        beta = make_server(kernel, "beta", procs=8)
+        # Algorithm-2 style candidates: cancelled from beta, clusters idle,
+        # so the pre-outage estimates must reappear exactly on recovery.
+        jobs = [make_job(i, procs=2 + i, runtime=100.0) for i in range(3)]
+        table = _EstimateTable([alpha, beta])
+        table.add_cancelled_many(jobs, {job.job_id: "beta" for job in jobs})
+        before = {job.job_id: table.estimate_of(job.job_id).ects for job in jobs}
+        assert all(set(ects) == {"alpha", "beta"} for ects in before.values())
+
+        # Mask: beta goes down, its whole column disappears from the
+        # candidates' view (down == not fitting, as Sufferage requires).
+        beta.apply_capacity_change(0)
+        table.refresh_clusters({"beta"})
+        masked_rows = [table.matrix.row_of(job.job_id) for job in jobs]
+        for job, row in zip(jobs, masked_rows):
+            estimate = table.estimate_of(job.job_id)
+            assert set(estimate.ects) == {"alpha"}
+            assert estimate.current_ect == math.inf
+            assert not table.matrix._fits[row, table.matrix.col_index["beta"]]
+
+        # Unmask: beta recovers and a refresh re-enters the column with
+        # the exact estimates of the pre-outage build (the queue state
+        # underneath is unchanged).
+        beta.apply_capacity_change(8)
+        table.refresh_clusters({"beta"})
+        for job in jobs:
+            estimate = table.estimate_of(job.job_id)
+            assert estimate.ects == before[job.job_id]
+            assert estimate.current_ect == before[job.job_id]["beta"]

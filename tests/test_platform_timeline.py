@@ -1,0 +1,242 @@
+"""Tests for availability timelines, outage scripts and the failure model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.platform.catalog import grid5000_platform
+from repro.platform.spec import ClusterSpec, PlatformSpec
+from repro.platform.timeline import (
+    AvailabilityTimeline,
+    CapacityInterval,
+    TimelineError,
+)
+from repro.workload.failures import (
+    OUTAGE_SCRIPT_NAMES,
+    OUTAGE_SCRIPTS,
+    FailureModel,
+    apply_outage_script,
+    generate_failure_timelines,
+)
+
+
+class TestCapacityInterval:
+    def test_validation(self):
+        with pytest.raises(TimelineError):
+            CapacityInterval(10.0, 10.0, 0)  # empty
+        with pytest.raises(TimelineError):
+            CapacityInterval(-1.0, 10.0, 0)  # negative start
+        with pytest.raises(TimelineError):
+            CapacityInterval(0.0, 10.0, -1)  # negative capacity
+        with pytest.raises(TimelineError):
+            CapacityInterval(0.0, 10.0, 0, kind="nope")
+
+    def test_infinite_end_round_trips_through_json(self):
+        interval = CapacityInterval(5.0, math.inf, 0, "leave")
+        assert CapacityInterval.from_dict(interval.to_dict()) == interval
+
+    def test_finite_round_trip(self):
+        interval = CapacityInterval(5.0, 9.0, 3, "degraded")
+        assert CapacityInterval.from_dict(interval.to_dict()) == interval
+
+
+class TestAvailabilityTimeline:
+    def test_trivial_timeline_is_the_identity(self):
+        timeline = AvailabilityTimeline.always_up()
+        assert timeline.is_trivial
+        assert not timeline
+        assert timeline.capacity_at(0.0, 64) == 64
+        assert timeline.capacity_at(1e9, 64) == 64
+        assert timeline.transitions(64) == []
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(TimelineError):
+            AvailabilityTimeline(
+                (CapacityInterval(0.0, 10.0, 0), CapacityInterval(5.0, 15.0, 0))
+            )
+
+    def test_intervals_are_sorted_on_construction(self):
+        timeline = AvailabilityTimeline(
+            (CapacityInterval(20.0, 30.0, 0), CapacityInterval(0.0, 10.0, 0))
+        )
+        assert [iv.start for iv in timeline.intervals] == [0.0, 20.0]
+
+    def test_capacity_at_and_transitions(self):
+        timeline = (
+            AvailabilityTimeline()
+            .with_outage(100.0, 200.0)
+            .with_degraded(300.0, 400.0, 16)
+        )
+        assert timeline.capacity_at(0.0, 64) == 64
+        assert timeline.capacity_at(100.0, 64) == 0
+        assert timeline.capacity_at(199.9, 64) == 0
+        assert timeline.capacity_at(200.0, 64) == 64
+        assert timeline.capacity_at(350.0, 64) == 16
+        assert timeline.transitions(64) == [
+            (100.0, 0),
+            (200.0, 64),
+            (300.0, 16),
+            (400.0, 64),
+        ]
+
+    def test_join_leave_transitions(self):
+        timeline = AvailabilityTimeline().joining_at(50.0).leaving_at(500.0)
+        assert timeline.capacity_at(0.0, 8) == 0
+        assert timeline.capacity_at(50.0, 8) == 8
+        assert timeline.capacity_at(501.0, 8) == 0
+        # The join starts at t=0 (initial capacity), the leave never ends:
+        # the only *transition* is the join coming up.
+        assert timeline.transitions(8) == [(50.0, 8), (500.0, 0)]
+
+    def test_joining_at_zero_is_trivial(self):
+        assert AvailabilityTimeline().joining_at(0.0).is_trivial
+
+    def test_noop_intervals_coalesce_to_no_transitions(self):
+        # A "degradation" to the full nominal size changes nothing.
+        timeline = AvailabilityTimeline().with_degraded(10.0, 20.0, 8)
+        assert timeline.transitions(8) == []
+
+    def test_round_trip_through_json(self):
+        timeline = (
+            AvailabilityTimeline().with_maintenance(10.0, 20.0).leaving_at(100.0)
+        )
+        assert AvailabilityTimeline.from_dict(timeline.to_dict()) == timeline
+
+    def test_validate_for_rejects_capacity_above_nominal(self):
+        timeline = AvailabilityTimeline().with_degraded(0.0, 10.0, 100)
+        with pytest.raises(TimelineError):
+            timeline.validate_for(8, cluster="alpha")
+
+
+class TestSpecIntegration:
+    def test_cluster_spec_accepts_and_validates_timeline(self):
+        timeline = AvailabilityTimeline().with_outage(10.0, 20.0)
+        spec = ClusterSpec("alpha", 8, 1.0, timeline)
+        assert spec.is_dynamic
+        with pytest.raises(TimelineError):
+            ClusterSpec("alpha", 8, 1.0, AvailabilityTimeline().with_degraded(0.0, 1.0, 9))
+
+    def test_static_specs_are_not_dynamic(self):
+        assert not ClusterSpec("alpha", 8).is_dynamic
+        assert not ClusterSpec("alpha", 8, timeline=AvailabilityTimeline()).is_dynamic
+        assert not grid5000_platform().is_dynamic
+
+    def test_with_timelines_attaches_and_static_detaches(self):
+        platform = grid5000_platform()
+        timeline = AvailabilityTimeline().with_outage(10.0, 20.0)
+        dynamic = platform.with_timelines({"lyon": timeline})
+        assert dynamic.is_dynamic
+        assert dynamic.get("lyon").timeline == timeline
+        assert dynamic.get("bordeaux").timeline is None
+        assert not dynamic.static().is_dynamic
+        # The original platform is untouched.
+        assert not platform.is_dynamic
+
+    def test_with_timelines_rejects_unknown_cluster(self):
+        with pytest.raises(ValueError):
+            grid5000_platform().with_timelines(
+                {"nowhere": AvailabilityTimeline().with_outage(0.0, 1.0)}
+            )
+
+    def test_homogeneous_preserves_timelines(self):
+        timeline = AvailabilityTimeline().with_outage(10.0, 20.0)
+        platform = grid5000_platform(heterogeneous=True).with_timelines(
+            {"toulouse": timeline}
+        )
+        homogeneous = platform.homogeneous()
+        assert homogeneous.get("toulouse").timeline == timeline
+        assert homogeneous.get("toulouse").speed == 1.0
+
+
+class TestFailureModel:
+    def test_timelines_are_deterministic_per_seed(self):
+        platform = grid5000_platform()
+        first = generate_failure_timelines(platform, 100_000.0, seed=7)
+        second = generate_failure_timelines(platform, 100_000.0, seed=7)
+        assert first == second
+        different = generate_failure_timelines(platform, 100_000.0, seed=8)
+        assert first != different
+
+    def test_per_cluster_streams_are_independent(self):
+        # Dropping a cluster must not reshuffle the failures of the others.
+        platform = grid5000_platform()
+        smaller = PlatformSpec("sub", platform.clusters[:2])
+        full = generate_failure_timelines(platform, 100_000.0, seed=7)
+        subset = generate_failure_timelines(smaller, 100_000.0, seed=7)
+        for name in smaller.cluster_names:
+            assert full[name] == subset[name]
+
+    def test_intervals_stay_within_horizon_and_valid(self):
+        model = FailureModel(
+            mean_time_between=5_000.0, mean_outage=2_000.0,
+            degraded_probability=0.5, seed=3,
+        )
+        cluster = ClusterSpec("alpha", 64)
+        timeline = model.timeline_for(cluster, 50_000.0)
+        for interval in timeline.intervals:
+            assert 0.0 <= interval.start < 50_000.0
+            assert interval.end <= 50_000.0
+            assert 0 <= interval.capacity < 64
+            assert interval.kind in ("outage", "degraded")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(mean_time_between=0.0, mean_outage=1.0)
+        with pytest.raises(ValueError):
+            FailureModel(mean_time_between=1.0, mean_outage=0.0)
+        with pytest.raises(ValueError):
+            FailureModel(mean_time_between=1.0, mean_outage=1.0, degraded_probability=2.0)
+
+
+class TestOutageScripts:
+    def test_registry_names_are_sorted_and_complete(self):
+        assert OUTAGE_SCRIPT_NAMES == tuple(sorted(OUTAGE_SCRIPTS))
+        assert set(OUTAGE_SCRIPT_NAMES) == {
+            "degraded", "flaky", "join-leave", "maintenance",
+        }
+
+    @pytest.mark.parametrize("script", OUTAGE_SCRIPT_NAMES)
+    def test_every_script_produces_a_dynamic_platform(self, script):
+        platform = grid5000_platform()
+        dynamic = apply_outage_script(platform, script, duration=100_000.0, seed=1)
+        assert dynamic.is_dynamic
+        assert dynamic.cluster_names == platform.cluster_names
+        # Scripts never mutate their input platform.
+        assert not platform.is_dynamic
+
+    def test_unknown_script_rejected(self):
+        with pytest.raises(ValueError):
+            apply_outage_script(grid5000_platform(), "nope", 1000.0)
+        with pytest.raises(ValueError):
+            apply_outage_script(grid5000_platform(), "flaky", 0.0)
+
+    def test_windows_scale_with_duration(self):
+        short = apply_outage_script(grid5000_platform(), "maintenance", 10_000.0)
+        long = apply_outage_script(grid5000_platform(), "maintenance", 100_000.0)
+        assert short.get("bordeaux").timeline.intervals[0].start == 2_500.0
+        assert long.get("bordeaux").timeline.intervals[0].start == 25_000.0
+
+    def test_join_leave_targets_the_last_cluster(self):
+        dynamic = apply_outage_script(grid5000_platform(), "join-leave", 100_000.0)
+        timeline = dynamic.get("toulouse").timeline
+        assert timeline is not None and not timeline.is_trivial
+        assert timeline.capacity_at(0.0, 434) == 0
+        assert timeline.capacity_at(50_000.0, 434) == 434
+        assert timeline.capacity_at(90_000.0, 434) == 0
+        # The leave window closes at the horizon: jobs stranded by the
+        # leave complete on baseline runs instead of silently vanishing
+        # from the metric population.
+        assert timeline.capacity_at(100_000.0, 434) == 434
+
+    @pytest.mark.parametrize("script", OUTAGE_SCRIPT_NAMES)
+    def test_every_script_recovers_by_the_horizon(self, script):
+        # No script may take capacity away forever: a baseline run (no
+        # reallocation agent) must be able to finish every job.
+        duration = 100_000.0
+        dynamic = apply_outage_script(grid5000_platform(), script, duration, seed=5)
+        for cluster in dynamic:
+            if cluster.timeline is None:
+                continue
+            assert cluster.timeline.capacity_at(duration, cluster.procs) == cluster.procs

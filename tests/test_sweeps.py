@@ -171,3 +171,42 @@ class TestPaperEquivalence:
     def test_campaign_configs_membership_via_sweeps(self):
         units = campaign_configs("standard-homogeneous", target_jobs=60)
         assert units == plan_units(paper_sweep("standard", False, 60).configs())
+
+
+class TestOutageAxis:
+    def test_outage_axis_expands_and_coords_read_naturally(self):
+        spec = small_spec(outages=(None, "maintenance"))
+        cells = spec.cells()
+        assert len(cells) == 2
+        assert [config.outage_script for config, _ in cells] == [None, "maintenance"]
+        assert [coords["outage"] for _, coords in cells] == ["static", "maintenance"]
+        assert spec.varying_axes()["outage"] == ("static", "maintenance")
+
+    def test_outage_axis_rejects_unknown_scripts_and_duplicates(self):
+        with pytest.raises(ValueError):
+            small_spec(outages=("nope",))
+        with pytest.raises(ValueError):
+            small_spec(outages=("flaky", "flaky"))
+
+    def test_dynamic_baselines_keep_the_script_and_dedup_per_script(self):
+        spec = small_spec(outages=("maintenance", "flaky"), heuristics=("mct", "minmin"))
+        units = plan_units(spec.configs())
+        baselines = [u for u in units if u.is_baseline]
+        # One baseline per outage script (shared by both heuristics).
+        assert len(baselines) == 2
+        assert {b.outage_script for b in baselines} == {"maintenance", "flaky"}
+
+    def test_outage_grid_is_registered(self):
+        spec = SWEEP_REGISTRY["outage-grid"]
+        assert "outage" in spec.varying_axes()
+        assert len(spec.configs()) == 7 * 2 * 4  # scenarios x policies x scripts
+        assert all(config.is_dynamic for config in spec.configs())
+
+    def test_default_sweeps_stay_static(self):
+        for name in SWEEP_NAMES:
+            if name == "outage-grid":
+                continue
+            assert all(
+                config.outage_script is None
+                for config in SWEEP_REGISTRY[name].configs()
+            )
