@@ -7,6 +7,9 @@ subpackage re-implements the pieces of Simbatch the paper relies on:
 * :class:`~repro.batch.job.Job` — a parallel *rigid* job: fixed processor
   count, user-supplied walltime and an actual runtime discovered at
   completion time.
+* :class:`~repro.batch.jobtable.JobTable` — the columnar
+  (structure-of-arrays) form of a job population, used at archive scale
+  where per-object storage and attribute walks dominate.
 * :class:`~repro.batch.profile.AvailabilityProfile` — the step function of
   free processors over future time used to compute reservations.
 * :mod:`repro.batch.policies` — the two local scheduling policies of the
@@ -21,6 +24,7 @@ subpackage re-implements the pieces of Simbatch the paper relies on:
 
 from repro.batch.cluster import ClusterState, RunningJob
 from repro.batch.job import Job, JobState
+from repro.batch.jobtable import JobTable
 from repro.batch.policies import (
     BatchPolicy,
     IncrementalPlanner,
@@ -46,6 +50,7 @@ __all__ = [
     "IncrementalPlanner",
     "Job",
     "JobState",
+    "JobTable",
     "PlannedJob",
     "PlanningPolicy",
     "ProfileError",

@@ -26,7 +26,7 @@ from repro.core.heuristics import (
     Sufferage,
     get_heuristic,
 )
-from repro.core.metrics import ComparisonMetrics, compare_runs
+from repro.core.metrics import ComparisonMetrics, compare_runs, compare_tables
 from repro.core.results import JobRecord, RunResult
 
 __all__ = [
@@ -44,5 +44,6 @@ __all__ = [
     "RunResult",
     "Sufferage",
     "compare_runs",
+    "compare_tables",
     "get_heuristic",
 ]

@@ -18,9 +18,14 @@ run *without* reallocation (the reference experiment):
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Tuple
+
+import numpy as np
 
 from repro.core.results import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.batch.jobtable import JobTable
 
 #: Completion-time differences below this many seconds are considered
 #: unchanged (guards against floating-point noise in the simulation).
@@ -131,6 +136,77 @@ def compare_runs(
         impacted_jobs=n_impacted,
         pct_impacted=100.0 * n_impacted / n_common if n_common else 0.0,
         reallocations=realloc.total_reallocations,
+        earlier_jobs=earlier,
+        pct_earlier=pct_earlier,
+        relative_response_time=relative,
+    )
+
+
+def _completed_columns(table: "JobTable") -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(job_ids, completions, submits)`` of completed rows, id-sorted."""
+    completion = table.completion_time
+    if completion is None:
+        empty = np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=np.int64), empty, empty
+    mask = ~np.isnan(completion)
+    ids = table.job_id[mask]
+    order = np.argsort(ids, kind="stable")
+    return ids[order], completion[mask][order], table.submit_time[mask][order]
+
+
+def compare_tables(
+    baseline: "JobTable",
+    realloc: "JobTable",
+    reallocations: int = 0,
+    tolerance: float = COMPLETION_TOLERANCE,
+) -> ComparisonMetrics:
+    """Columnar counterpart of :func:`compare_runs`.
+
+    Operates on two outcome-bearing
+    :class:`~repro.batch.jobtable.JobTable` snapshots (see
+    :meth:`~repro.core.results.RunResult.to_table`): the comparison
+    population, impacted set and response-time means are NumPy reductions
+    over the id-aligned completion columns instead of per-record dict
+    walks, which is the form that scales to archive-size traces.  The
+    table form does not carry run-level counters, so the reallocation
+    count of the comparison is passed explicitly.
+
+    Semantics match :func:`compare_runs` (the differential test in
+    ``tests/test_jobtable.py`` holds the two to each other); the float
+    aggregates may differ from the per-record path only by summation
+    rounding in the last ulp.
+    """
+    base_ids, base_completions, base_submits = _completed_columns(baseline)
+    re_ids, re_completions, re_submits = _completed_columns(realloc)
+    _, base_idx, re_idx = np.intersect1d(
+        base_ids, re_ids, assume_unique=True, return_indices=True
+    )
+    base_comp = base_completions[base_idx]
+    re_comp = re_completions[re_idx]
+    n_common = base_comp.shape[0]
+
+    impacted = np.abs(re_comp - base_comp) > tolerance
+    n_impacted = int(np.count_nonzero(impacted))
+    earlier = int(np.count_nonzero(impacted & (re_comp < base_comp)))
+
+    if n_impacted:
+        base_mean = float(
+            np.sum(base_comp[impacted] - base_submits[base_idx][impacted])
+        ) / n_impacted
+        realloc_mean = float(
+            np.sum(re_comp[impacted] - re_submits[re_idx][impacted])
+        ) / n_impacted
+        relative = realloc_mean / base_mean if base_mean > 0 else 1.0
+        pct_earlier = 100.0 * earlier / n_impacted
+    else:
+        relative = 1.0
+        pct_earlier = 0.0
+
+    return ComparisonMetrics(
+        compared_jobs=n_common,
+        impacted_jobs=n_impacted,
+        pct_impacted=100.0 * n_impacted / n_common if n_common else 0.0,
+        reallocations=reallocations,
         earlier_jobs=earlier,
         pct_earlier=pct_earlier,
         relative_response_time=relative,

@@ -11,9 +11,12 @@ without.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, Mapping, Optional
 
 from repro.batch.job import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.batch.jobtable import JobTable
 
 
 @dataclass(frozen=True, slots=True)
@@ -179,6 +182,55 @@ class RunResult:
             work_lost=work_lost,
             metadata=dict(metadata or {}),
         )
+
+    @classmethod
+    def from_table(
+        cls,
+        label: str,
+        table: "JobTable",
+        total_reallocations: int = 0,
+        reallocation_events: int = 0,
+        jobs_killed_by_outage: int = 0,
+        jobs_requeued: int = 0,
+        work_lost: float = 0.0,
+        metadata: Optional[Mapping[str, object]] = None,
+        chunk_size: int = 65536,
+    ) -> "RunResult":
+        """Build a result from a columnar :class:`~repro.batch.jobtable.JobTable`.
+
+        The table's outcome columns are read in chunks (one NumPy slice
+        per column per chunk) instead of per-object attribute walks, and
+        the makespan is a single vectorised reduction — this is the
+        snapshot path for archive-scale runs.
+        """
+        records: Dict[int, JobRecord] = {}
+        for chunk in table.records(chunk_size):
+            for record in chunk:
+                records[record.job_id] = record
+        return cls(
+            label=label,
+            records=records,
+            total_reallocations=total_reallocations,
+            reallocation_events=reallocation_events,
+            makespan=table.makespan(),
+            jobs_killed_by_outage=jobs_killed_by_outage,
+            jobs_requeued=jobs_requeued,
+            work_lost=work_lost,
+            metadata=dict(metadata or {}),
+        )
+
+    def to_table(self) -> "JobTable":
+        """Columnar view of the records (ascending job-id order).
+
+        The returned :class:`~repro.batch.jobtable.JobTable` carries the
+        outcome columns, so the aggregate metrics (counts, response-time
+        means, makespan) become NumPy reductions instead of per-record
+        walks — the form :func:`repro.core.metrics.compare_tables`
+        consumes.
+        """
+        from repro.batch.jobtable import JobTable
+
+        return JobTable.from_records(self.records[job_id] for job_id in sorted(self.records))
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation (see :meth:`JobRecord.to_dict`).

@@ -68,6 +68,10 @@ class GridSimulation:
     record_events:
         When true, an :class:`EventTrace` is attached to the kernel and
         exposed as :attr:`event_trace`.
+    kernel_queue:
+        Event-queue backend of the kernel (``"heap"`` or ``"calendar"``);
+        both fire the identical event sequence, so results are
+        byte-identical either way.
     """
 
     def __init__(
@@ -82,6 +86,7 @@ class GridSimulation:
         reallocation_threshold: float = DEFAULT_THRESHOLD,
         mapping_seed: int = 0,
         record_events: bool = False,
+        kernel_queue: str = "heap",
     ) -> None:
         self.platform = platform
         self.jobs: List[Job] = list(jobs)
@@ -102,7 +107,7 @@ class GridSimulation:
         self.mapping_seed = mapping_seed
 
         self.event_trace: Optional[EventTrace] = EventTrace() if record_events else None
-        self.kernel = SimulationKernel(trace=self.event_trace)
+        self.kernel = SimulationKernel(trace=self.event_trace, queue=kernel_queue)
         self.servers: List[BatchServer] = [
             BatchServer(
                 self.kernel,

@@ -1,16 +1,24 @@
 """Event objects managed by the simulation kernel.
 
 An :class:`Event` couples a firing time with a callback.  Events are
-totally ordered by ``(time, priority, sequence)`` so the kernel's heap pops
-them deterministically: ties on time are broken first by an explicit
+totally ordered by ``(time, priority, sequence)`` so the kernel's queue
+pops them deterministically: ties on time are broken first by an explicit
 priority (lower fires first) and then by insertion order.
+
+``Event`` is a hand-written ``__slots__`` class rather than a dataclass:
+the event queue performs millions of comparisons when replaying large
+traces, and the dataclass-generated ``__lt__`` materialises two field
+tuples per comparison.  The explicit ``__lt__`` below compares the three
+ordering fields directly (no allocation), which is what lets the kernel
+sustain million-job replays; ``__slots__`` also keeps the per-event
+footprint to the fields themselves (no ``__dict__``), measured in
+``BENCH_kernel.json``.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional, Tuple
 
 
 class EventType(enum.IntEnum):
@@ -35,7 +43,6 @@ class EventType(enum.IntEnum):
     END_OF_SIMULATION = 5
 
 
-@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -58,23 +65,74 @@ class Event:
         The :class:`EventType` tag, available to tracing hooks.
     cancelled:
         When set the kernel skips the callback; cancellation is O(1) and
-        leaves the heap untouched (the owning kernel is notified so its
-        live-event accounting stays exact and it can compact the heap).
+        leaves the queue untouched (the owning kernel is notified so its
+        live-event accounting stays exact and it can compact the queue).
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(default=(), compare=False)
-    event_type: EventType = field(default=EventType.GENERIC, compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: set by the kernel when the event leaves the heap (fired or skipped)
-    popped: bool = field(default=False, compare=False)
-    #: kernel hook called exactly once on first cancellation
-    on_cancel: Callable[["Event"], None] | None = field(
-        default=None, compare=False, repr=False
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "args",
+        "event_type",
+        "cancelled",
+        "popped",
+        "on_cancel",
     )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        event_type: EventType = EventType.GENERIC,
+        cancelled: bool = False,
+        on_cancel: Optional[Callable[["Event"], None]] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.event_type = event_type
+        self.cancelled = cancelled
+        #: set by the kernel when the event leaves the queue (fired or skipped)
+        self.popped = False
+        #: kernel hook called exactly once on first cancellation
+        self.on_cancel = on_cancel
+
+    # ------------------------------------------------------------------ #
+    # Total order: (time, priority, sequence), allocation-free           #
+    # ------------------------------------------------------------------ #
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
+
+    def __le__(self, other: "Event") -> bool:
+        return not other.__lt__(self)
+
+    def __gt__(self, other: "Event") -> bool:
+        return other.__lt__(self)
+
+    def __ge__(self, other: "Event") -> bool:
+        return not self.__lt__(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.priority == other.priority
+            and self.sequence == other.sequence
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the old dataclass
 
     def cancel(self) -> None:
         """Mark the event so the kernel will skip it when popped."""

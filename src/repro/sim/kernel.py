@@ -1,6 +1,6 @@
 """The discrete-event simulation kernel.
 
-The kernel owns a simulated clock and a binary heap of :class:`Event`
+The kernel owns a simulated clock and an event queue of :class:`Event`
 objects.  Model components (batch servers, the meta-scheduler, the
 reallocation agent, workload clients) schedule callbacks on the kernel and
 the kernel fires them in non-decreasing time order.
@@ -15,21 +15,28 @@ Design notes
 * Determinism: events are ordered by ``(time, priority, sequence)``; the
   sequence counter makes insertion order the final tie-breaker, so repeated
   runs of the same scenario produce byte-identical results.
-* Cancellation is lazy: cancelled events stay in the heap and are skipped
+* The queue backend is selectable: ``queue="heap"`` (default) is the
+  historical binary heap, ``queue="calendar"`` is a bucketed calendar
+  queue with O(1) amortised operations that sustains million-event
+  replays (see :mod:`repro.sim.queues`).  Both enforce the identical
+  total order, so the backends are interchangeable event for event — the
+  differential oracle in ``tests/test_calendar_queue.py`` holds them to
+  it.
+* Cancellation is lazy: cancelled events stay in the queue and are skipped
   when popped, which keeps cancellation O(1) amortised.  The kernel keeps
   an exact live (non-cancelled) event count, and when cancelled entries
-  exceed half of the heap it compacts the heap in one O(n) pass — so
+  exceed half of the queue it compacts the queue in one O(n) pass — so
   cancellation-heavy models (e.g. multi-submission runs) never accumulate
   unbounded dead entries.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from typing import Any, Callable, Optional
 
 from repro.sim.events import Event, EventType
+from repro.sim.queues import QUEUE_FACTORIES
 from repro.sim.trace import EventTrace
 
 
@@ -37,7 +44,7 @@ class SimulationError(RuntimeError):
     """Raised on invalid kernel usage (e.g. scheduling in the past)."""
 
 
-#: Heaps smaller than this are never compacted (rebuilding a tiny heap
+#: Queues smaller than this are never compacted (rebuilding a tiny queue
 #: costs more than skipping its few dead entries).
 COMPACTION_MIN_HEAP = 64
 
@@ -52,6 +59,11 @@ class SimulationKernel:
         Standard Workload Format are relative to 0, so the default is 0.
     trace:
         Optional :class:`EventTrace` recording every fired event.
+    queue:
+        Event-queue backend: ``"heap"`` (binary heap, the default) or
+        ``"calendar"`` (bucketed calendar queue, O(1) amortised — the
+        choice for million-event replays).  Both produce the identical
+        firing order.
 
     Examples
     --------
@@ -64,18 +76,31 @@ class SimulationKernel:
     [5.0, 10.0]
     """
 
-    def __init__(self, start_time: float = 0.0, trace: Optional[EventTrace] = None) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        trace: Optional[EventTrace] = None,
+        queue: str = "heap",
+    ) -> None:
+        try:
+            factory = QUEUE_FACTORIES[queue]
+        except KeyError:
+            raise SimulationError(
+                f"unknown queue backend {queue!r}; expected one of "
+                f"{sorted(QUEUE_FACTORIES)}"
+            ) from None
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        self._queue = factory()
+        self.queue_kind = queue
         self._sequence = 0
         self._running = False
         self._stopped = False
         self._live = 0
-        self._cancelled_in_heap = 0
+        self._cancelled_in_queue = 0
         self.trace = trace
         #: Number of events fired so far (excluding cancelled ones).
         self.fired_events = 0
-        #: Number of heap compaction passes performed so far.
+        #: Number of queue compaction passes performed so far.
         self.compactions = 0
 
     # ------------------------------------------------------------------ #
@@ -93,8 +118,8 @@ class SimulationKernel:
 
     @property
     def heap_size(self) -> int:
-        """Physical heap size, including not-yet-collected cancelled events."""
-        return len(self._heap)
+        """Physical queue size, including not-yet-collected cancelled events."""
+        return len(self._queue)
 
     # ------------------------------------------------------------------ #
     # Scheduling                                                         #
@@ -122,18 +147,15 @@ class SimulationKernel:
             )
         if priority is None:
             priority = int(event_type)
+        # Positional construction: this is the hottest allocation of a
+        # trace-scale replay and keyword passing measurably slows it.
         event = Event(
-            time=float(time),
-            priority=priority,
-            sequence=self._sequence,
-            callback=callback,
-            args=args,
-            event_type=event_type,
+            float(time), priority, self._sequence, callback, args, event_type,
+            False, self._note_cancelled,
         )
         self._sequence += 1
-        event.on_cancel = self._note_cancelled
         self._live += 1
-        heapq.heappush(self._heap, event)
+        self._queue.push(event)
         return event
 
     def schedule_in(
@@ -166,43 +188,66 @@ class SimulationKernel:
         Returns
         -------
         bool
-            ``True`` if an event was fired, ``False`` if the heap is empty
+            ``True`` if an event was fired, ``False`` if the queue is empty
             (the clock is left untouched in that case).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        pop = self._queue.pop
+        while True:
+            event = pop()
+            if event is None:
+                return False
             event.popped = True
             if event.cancelled:
-                self._cancelled_in_heap -= 1
+                self._cancelled_in_queue -= 1
                 continue
             self._live -= 1
             self._now = event.time
             if self.trace is not None:
                 self.trace.record(event)
             self.fired_events += 1
-            event.fire()
+            event.callback(*event.args)
             return True
-        return False
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run events until the heap is exhausted or ``until`` is reached.
+        """Run events until the queue is exhausted or ``until`` is reached.
 
         When ``until`` is given, events with a timestamp strictly greater
-        than ``until`` are left in the heap and the clock is advanced to
-        ``until``.
+        than ``until`` are left in the queue and the clock is advanced to
+        ``until``.  The common run-to-exhaustion path (``until is None``)
+        never peeks ahead: each iteration is exactly one pop.
         """
         if self._running:
             raise SimulationError("kernel is already running (re-entrant run() call)")
         self._running = True
         self._stopped = False
         try:
-            while self._heap and not self._stopped:
+            if until is None:
+                # Run-to-exhaustion is the trace-replay hot loop: the body
+                # of step() is inlined here because one method frame per
+                # event is measurable at 10⁶ events (the queue object
+                # itself never changes, so its pop is bound once).
+                pop = self._queue.pop
+                while not self._stopped:
+                    event = pop()
+                    if event is None:
+                        break
+                    event.popped = True
+                    if event.cancelled:
+                        self._cancelled_in_queue -= 1
+                        continue
+                    self._live -= 1
+                    self._now = event.time
+                    if self.trace is not None:
+                        self.trace.record(event)
+                    self.fired_events += 1
+                    event.callback(*event.args)
+                return
+            while len(self._queue) and not self._stopped:
                 next_time = self._peek_time()
-                if until is not None and next_time is not None and next_time > until:
+                if next_time is None or next_time > until:
                     break
-                if not self.step():
-                    break
-            if until is not None and self._now < until:
+                self.step()
+            if self._now < until:
                 self._now = until
         finally:
             self._running = False
@@ -216,50 +261,46 @@ class SimulationKernel:
     # ------------------------------------------------------------------ #
     def _peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            event = heapq.heappop(self._heap)
-            event.popped = True
-            self._cancelled_in_heap -= 1
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        queue = self._queue
+        while True:
+            head = queue.peek()
+            if head is None:
+                return None
+            if head.cancelled:
+                queue.pop()
+                head.popped = True
+                self._cancelled_in_queue -= 1
+                continue
+            return head.time
 
     def _note_cancelled(self, event: Event) -> None:
         """Event hook: maintain live accounting and compact when worthwhile.
 
-        Events cancelled after leaving the heap (already fired or skipped)
+        Events cancelled after leaving the queue (already fired or skipped)
         do not affect the counters.
         """
         if event.popped:
             return
         self._live -= 1
-        self._cancelled_in_heap += 1
+        self._cancelled_in_queue += 1
         if (
-            len(self._heap) >= COMPACTION_MIN_HEAP
-            and self._cancelled_in_heap * 2 > len(self._heap)
+            len(self._queue) >= COMPACTION_MIN_HEAP
+            and self._cancelled_in_queue * 2 > len(self._queue)
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without its cancelled entries (one O(n) pass).
+        """Drop cancelled entries from the queue in one O(n) pass.
 
-        The heap invariant is restored by ``heapify``; the total order of
-        events is strict (the sequence counter is unique), so compaction
-        cannot change the firing order and determinism is preserved.
+        The total order of events is strict (the sequence counter is
+        unique), so compaction cannot change the firing order and
+        determinism is preserved whatever the backend.
         """
-        live: list[Event] = []
-        for event in self._heap:
-            if event.cancelled:
-                event.popped = True
-            else:
-                live.append(event)
-        self._heap = live
-        heapq.heapify(self._heap)
-        self._cancelled_in_heap = 0
+        self._cancelled_in_queue -= self._queue.compact()
         self.compactions += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SimulationKernel(now={self._now:.3f}, pending={self._live}, "
-            f"heap={len(self._heap)})"
+            f"queue={self.queue_kind}:{len(self._queue)})"
         )

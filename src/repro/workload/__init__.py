@@ -28,7 +28,14 @@ from repro.workload.scenarios import (
     get_scenario,
     table1_counts,
 )
-from repro.workload.swf import SWFError, parse_swf, parse_swf_file, write_swf
+from repro.workload.swf import (
+    SWFError,
+    iter_swf,
+    iter_swf_file,
+    parse_swf,
+    parse_swf_file,
+    write_swf,
+)
 from repro.workload.synthetic import SiteWorkloadModel, generate_site_trace, merge_traces
 
 __all__ = [
@@ -44,6 +51,8 @@ __all__ = [
     "generate_failure_timelines",
     "generate_site_trace",
     "get_scenario",
+    "iter_swf",
+    "iter_swf_file",
     "merge_traces",
     "parse_swf",
     "parse_swf_file",

@@ -7,6 +7,15 @@ logs in their *original* (uncleaned) form, so this parser keeps every job
 with a positive processor request and a positive runtime or walltime —
 including the "bad" jobs that the cleaned versions remove.
 
+Ingestion is *streaming*: :func:`iter_swf` / :func:`iter_swf_file` are
+generators yielding one :class:`~repro.batch.job.Job` at a time, so a
+multi-year archive log (10⁶–10⁷ records) is never materialised as a list
+— feed them straight into :meth:`repro.batch.jobtable.JobTable.from_jobs`
+for a columnar in-memory form, or into the simulation client.  Gzipped
+logs (``*.swf.gz``, the form the archive ships) are decompressed
+transparently.  :func:`parse_swf` / :func:`parse_swf_file` remain the
+list-returning conveniences for small traces.
+
 Field reference (1-based, as in the SWF specification):
 
 1. job number                7. used memory
@@ -20,8 +29,9 @@ Field reference (1-based, as in the SWF specification):
 
 from __future__ import annotations
 
+import gzip
 from pathlib import Path
-from typing import Iterable, List, TextIO, Union
+from typing import IO, Iterable, Iterator, List, TextIO, Union
 
 from repro.batch.job import Job
 
@@ -49,17 +59,19 @@ def _parse_line(line: str, line_number: int) -> List[float]:
         raise SWFError(f"line {line_number}: non-numeric field in {line.strip()!r}") from exc
 
 
-def parse_swf(
+def iter_swf(
     lines: Iterable[str],
     site: str = "swf",
     walltime_factor: float = DEFAULT_WALLTIME_FACTOR,
-) -> List[Job]:
-    """Parse SWF text into :class:`~repro.batch.job.Job` objects.
+) -> Iterator[Job]:
+    """Yield :class:`~repro.batch.job.Job` objects from SWF text, lazily.
 
     Parameters
     ----------
     lines:
-        Iterable of text lines (a file object works).
+        Iterable of text lines (a file object works).  Lines are consumed
+        one at a time; nothing is accumulated, so the generator handles
+        arbitrarily large logs in constant memory.
     site:
         Value stored as ``origin_site`` on every parsed job.
     walltime_factor:
@@ -71,7 +83,6 @@ def parse_swf(
     machine.  All other records — including failed/cancelled "bad" jobs —
     are kept, as the paper does.
     """
-    jobs: List[Job] = []
     for line_number, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith(";"):
@@ -97,17 +108,58 @@ def parse_swf(
             # Jobs that failed immediately still occupied the queue; model
             # them as very short executions.
             runtime = 1.0
-        jobs.append(
-            Job(
-                job_id=job_number,
-                submit_time=submit_time,
-                procs=procs,
-                runtime=runtime,
-                walltime=walltime,
-                origin_site=site,
-            )
+        yield Job(
+            job_id=job_number,
+            submit_time=submit_time,
+            procs=procs,
+            runtime=runtime,
+            walltime=walltime,
+            origin_site=site,
         )
-    return jobs
+
+
+def parse_swf(
+    lines: Iterable[str],
+    site: str = "swf",
+    walltime_factor: float = DEFAULT_WALLTIME_FACTOR,
+) -> List[Job]:
+    """Parse SWF text into a list of jobs (see :func:`iter_swf`)."""
+    return list(iter_swf(lines, site=site, walltime_factor=walltime_factor))
+
+
+def _open_swf(path: Path) -> IO[str]:
+    """Open an SWF log as text, decompressing ``*.gz`` transparently."""
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8", errors="replace")
+    return path.open("r", encoding="utf-8", errors="replace")
+
+
+def _site_from_path(path: Path) -> str:
+    """Default site name: the file name minus ``.swf`` / ``.gz`` suffixes."""
+    name = path.name
+    for suffix in (".gz", ".swf"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    return name or path.stem
+
+
+def iter_swf_file(
+    path: Union[str, Path],
+    site: str | None = None,
+    walltime_factor: float = DEFAULT_WALLTIME_FACTOR,
+) -> Iterator[Job]:
+    """Stream jobs from an SWF file on disk, one at a time.
+
+    ``.gz`` files are decompressed on the fly, so a compressed multi-year
+    archive log is replayed without ever touching the disk with its
+    expanded form or holding more than one record in memory.  ``site``
+    defaults to the file name stripped of its ``.swf`` / ``.gz`` suffixes.
+    """
+    path = Path(path)
+    with _open_swf(path) as handle:
+        yield from iter_swf(
+            handle, site=site or _site_from_path(path), walltime_factor=walltime_factor
+        )
 
 
 def parse_swf_file(
@@ -115,30 +167,31 @@ def parse_swf_file(
     site: str | None = None,
     walltime_factor: float = DEFAULT_WALLTIME_FACTOR,
 ) -> List[Job]:
-    """Parse an SWF file from disk.
-
-    ``site`` defaults to the file's stem.
-    """
-    path = Path(path)
-    with path.open("r", encoding="utf-8", errors="replace") as handle:
-        return parse_swf(handle, site=site or path.stem, walltime_factor=walltime_factor)
+    """Parse an SWF file (plain or ``.gz``) from disk into a list."""
+    return list(iter_swf_file(path, site=site, walltime_factor=walltime_factor))
 
 
 def write_swf(jobs: Iterable[Job], target: TextIO, comment: str | None = None) -> int:
     """Write jobs as SWF text to ``target``; returns the number of records.
 
-    Only the fields the simulator uses are meaningful; the remaining SWF
-    fields are written as ``-1`` (the SWF convention for "unknown").
+    Only the fields the simulator uses are meaningful.  Field 3 (wait
+    time) carries the *simulated* wait when the job has started —
+    completed runs round-trip their scheduling outcome through SWF — and
+    the SWF "unknown" marker ``-1`` otherwise; the remaining fields are
+    always ``-1``.  Accepts live :class:`~repro.batch.job.Job` objects
+    and :class:`~repro.core.results.JobRecord` snapshots alike (both
+    expose the same fields).
     """
     count = 0
     if comment:
         for line in comment.splitlines():
             target.write(f"; {line}\n")
     for job in jobs:
+        wait = job.wait_time
         fields = [
             job.job_id,
             int(job.submit_time),
-            -1,
+            -1 if wait is None else int(round(wait)),
             int(round(job.runtime)),
             job.procs,
             -1,

@@ -10,10 +10,14 @@ from repro.platform.spec import ClusterSpec, PlatformSpec
 from repro.sim.kernel import SimulationKernel
 
 
-@pytest.fixture
-def kernel() -> SimulationKernel:
-    """A fresh simulation kernel starting at t=0."""
-    return SimulationKernel()
+@pytest.fixture(params=["heap", "calendar"])
+def kernel(request) -> SimulationKernel:
+    """A fresh simulation kernel starting at t=0.
+
+    Parametrised over both event-queue backends so every kernel-facing
+    test exercises the heap and the calendar queue alike.
+    """
+    return SimulationKernel(queue=request.param)
 
 
 @pytest.fixture

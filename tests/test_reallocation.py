@@ -232,7 +232,7 @@ class TestTickScheduling:
         agent = ReallocationAgent(kernel, [s1], heuristic="mct", has_pending_work=lambda: False)
         agent.start(0.0)
         assert kernel.pending_events == 1
-        event = kernel._heap[0]
+        event = kernel._queue.peek()
         assert event.event_type is EventType.REALLOCATION
 
 

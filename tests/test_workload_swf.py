@@ -6,7 +6,14 @@ import io
 
 import pytest
 
-from repro.workload.swf import SWFError, parse_swf, parse_swf_file, write_swf
+from repro.workload.swf import (
+    SWFError,
+    iter_swf,
+    iter_swf_file,
+    parse_swf,
+    parse_swf_file,
+    write_swf,
+)
 from tests.conftest import make_job
 
 
@@ -115,3 +122,100 @@ class TestRoundTrip:
         path.write_text(swf_line() + "\n")
         jobs = parse_swf_file(path, site="sdsc")
         assert jobs[0].origin_site == "sdsc"
+
+
+class TestStreaming:
+    def test_iter_swf_is_lazy(self):
+        consumed = []
+
+        def lines():
+            for i in range(1, 100):
+                consumed.append(i)
+                yield swf_line(job_id=i)
+
+        stream = iter_swf(lines())
+        assert consumed == []  # nothing read until iteration starts
+        first = next(stream)
+        assert first.job_id == 1
+        assert len(consumed) == 1  # exactly one line pulled per job
+        next(stream)
+        assert len(consumed) == 2
+
+    def test_iter_swf_file_streams(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text("\n".join(swf_line(job_id=i) for i in range(1, 6)) + "\n")
+        stream = iter_swf_file(path)
+        assert next(stream).job_id == 1
+        assert [job.job_id for job in stream] == [2, 3, 4, 5]
+
+    def test_iter_matches_parse(self):
+        lines = [swf_line(job_id=i, submit=i) for i in range(1, 20)]
+        streamed = [(j.job_id, j.submit_time) for j in iter_swf(lines)]
+        listed = [(j.job_id, j.submit_time) for j in parse_swf(lines)]
+        assert streamed == listed
+
+
+class TestGzip:
+    def write_gz(self, path, text):
+        import gzip
+
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(text)
+
+    def test_parse_swf_file_gz(self, tmp_path):
+        path = tmp_path / "ctc.swf.gz"
+        self.write_gz(path, "; header\n" + swf_line(job_id=11) + "\n")
+        jobs = parse_swf_file(path)
+        assert [j.job_id for j in jobs] == [11]
+
+    def test_gz_site_name_strips_both_suffixes(self, tmp_path):
+        path = tmp_path / "sdsc.swf.gz"
+        self.write_gz(path, swf_line() + "\n")
+        assert parse_swf_file(path)[0].origin_site == "sdsc"
+
+    def test_iter_swf_file_gz_streams(self, tmp_path):
+        path = tmp_path / "big.swf.gz"
+        self.write_gz(path, "\n".join(swf_line(job_id=i) for i in range(1, 50)) + "\n")
+        assert sum(1 for _ in iter_swf_file(path)) == 49
+
+    def test_write_then_parse_through_gzip(self, tmp_path):
+        import gzip
+
+        original = [make_job(1, submit_time=10.0, procs=2, runtime=100.0),
+                    make_job(2, submit_time=20.0, procs=8, runtime=50.0)]
+        path = tmp_path / "round.swf.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            write_swf(original, handle)
+        parsed = parse_swf_file(path)
+        assert [(j.job_id, j.submit_time, j.procs) for j in parsed] == [
+            (1, 10.0, 2), (2, 20.0, 8)]
+
+
+class TestWaitTimeField:
+    def test_unstarted_job_writes_unknown_wait(self):
+        buffer = io.StringIO()
+        write_swf([make_job(1, submit_time=10.0)], buffer)
+        fields = buffer.getvalue().split()
+        assert fields[2] == "-1"
+
+    def test_started_job_writes_simulated_wait(self):
+        job = make_job(1, submit_time=10.0)
+        job.start_time = 35.0
+        buffer = io.StringIO()
+        write_swf([job], buffer)
+        fields = buffer.getvalue().split()
+        assert fields[2] == "25"
+
+    def test_record_snapshot_writes_wait(self):
+        from repro.batch.job import JobState
+        from repro.core.results import JobRecord
+
+        record = JobRecord(
+            job_id=4, submit_time=100.0, procs=1, runtime=10.0, walltime=20.0,
+            origin_site=None, final_cluster=None, start_time=103.5,
+            completion_time=113.5, state=JobState.COMPLETED, killed=False,
+            reallocation_count=0,
+        )
+        buffer = io.StringIO()
+        write_swf([record], buffer)
+        assert buffer.getvalue().split()[2] == "4"  # round(3.5) banker's → 4
