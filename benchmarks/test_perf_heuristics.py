@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import math
 import random
-import time
 from pathlib import Path
+
+from perfutil import best_of, speedup as wall_speedup
 
 from repro.analysis.benchio import dump_bench_report
 from repro.batch.job import Job
@@ -114,23 +115,14 @@ def test_heuristic_selection_speedup():
     offline_speedups = {}
     for name in HEURISTIC_NAMES:
         heuristic = get_heuristic(name)
-        object_s = math.inf
-        matrix_s = math.inf
-        object_order = matrix_order = None
-        for _ in range(REPEATS):
-            started = time.perf_counter()
-            object_order = drain_objects(candidates, heuristic)
-            object_s = min(object_s, time.perf_counter() - started)
-
-            started = time.perf_counter()
-            matrix_order = drain_matrix(candidates, heuristic)
-            matrix_s = min(matrix_s, time.perf_counter() - started)
+        object_s, object_order = best_of(REPEATS, drain_objects, candidates, heuristic)
+        matrix_s, matrix_order = best_of(REPEATS, drain_matrix, candidates, heuristic)
 
         assert matrix_order == object_order, (
             f"{name}: vectorised selection diverged from the object-based "
             "reference drain"
         )
-        speedup = object_s / matrix_s if matrix_s > 0 else math.inf
+        speedup = wall_speedup(object_s, matrix_s)
         report["heuristics"][name] = {
             "object_s": round(object_s, 4),
             "matrix_s": round(matrix_s, 4),

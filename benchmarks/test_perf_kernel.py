@@ -32,13 +32,13 @@ Environment
 
 from __future__ import annotations
 
-import gc
 import math
-import os
 import random
 import time
 import tracemalloc
 from pathlib import Path
+
+from perfutil import env_scales, gc_disabled, speedup as wall_speedup
 
 from repro.analysis.benchio import dump_bench_report
 from repro.batch.job import Job
@@ -63,10 +63,7 @@ BENCH_SEED = 19880200
 
 
 def scales() -> tuple:
-    env = os.environ.get("REPRO_BENCH_KERNEL_EVENTS")
-    if env:
-        return tuple(int(part) for part in env.split(","))
-    return DEFAULT_SCALES
+    return env_scales("REPRO_BENCH_KERNEL_EVENTS", DEFAULT_SCALES)
 
 
 def event_times(n: int) -> list:
@@ -88,18 +85,13 @@ def run_fill_drain(queue_kind: str, times: list) -> tuple:
     """
     kernel = SimulationKernel(queue=queue_kind)
     schedule_at = kernel.schedule_at
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
+    with gc_disabled():
         started = time.perf_counter()
         for t in times:
             schedule_at(t, _noop)
         filled = time.perf_counter()
         kernel.run()
         drained = time.perf_counter()
-    finally:
-        if gc_was_enabled:
-            gc.enable()
     return filled - started, drained - filled, kernel.fired_events, kernel.now
 
 
@@ -177,7 +169,7 @@ def test_kernel_queue_speedup():
         assert fired_now["heap"][0] == n
         heap_fill, heap_drain = best["heap"]
         cal_fill, cal_drain = best["calendar"]
-        speedup = heap_drain / cal_drain if cal_drain > 0 else math.inf
+        speedup = wall_speedup(heap_drain, cal_drain)
         report["scales"][str(n)] = {
             "heap_fill_s": round(heap_fill, 4),
             "heap_drain_s": round(heap_drain, 4),

@@ -20,10 +20,10 @@ artifact).
 
 from __future__ import annotations
 
-import math
 import random
-import time
 from pathlib import Path
+
+from perfutil import best_of, speedup as wall_speedup
 
 from repro.analysis.benchio import dump_bench_report
 from repro.batch.job import Job
@@ -117,22 +117,18 @@ def test_cancellation_table_build_speedup():
     # Estimate queries are pure, so both builds run against the same live
     # state.  Best-of-three timings per build keep the speedup assertion
     # robust against noisy shared CI runners.
-    reference_s = math.inf
-    single_pass_s = math.inf
-    for _ in range(3):
-        started = time.perf_counter()
-        reference = build_reference(servers, by_name, cancelled, previous_cluster)
-        reference_s = min(reference_s, time.perf_counter() - started)
-
-        started = time.perf_counter()
-        single_pass = build_single_pass(servers, by_name, cancelled, previous_cluster)
-        single_pass_s = min(single_pass_s, time.perf_counter() - started)
+    reference_s, reference = best_of(
+        3, build_reference, servers, by_name, cancelled, previous_cluster
+    )
+    single_pass_s, single_pass = best_of(
+        3, build_single_pass, servers, by_name, cancelled, previous_cluster
+    )
 
     assert tables_identical(reference, single_pass, job_ids), (
         "single-pass estimate table diverged from the reference build"
     )
 
-    speedup = reference_s / single_pass_s if single_pass_s > 0 else math.inf
+    speedup = wall_speedup(reference_s, single_pass_s)
     report = {
         "queue_depth": QUEUE_DEPTH,
         "clusters": CLUSTERS,

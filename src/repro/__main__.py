@@ -59,6 +59,8 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.benchcheck import collect_checks, failed_checks, render_checks
+from repro.batch.arrayprofile import DEFAULT_PROFILE_ENGINE, PROFILE_ENGINES
 from repro.experiments.campaign import (
     CAMPAIGN_NAMES,
     campaign_configs,
@@ -121,6 +123,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fresh", action="store_true",
         help="ignore stored results: re-simulate and refresh the store")
+    parser.add_argument(
+        "--profile-engine", choices=PROFILE_ENGINES,
+        default=DEFAULT_PROFILE_ENGINE, metavar="{array,list}",
+        help="availability-profile engine of every cluster (default "
+             "%(default)s; the engines are float-identical, 'list' keeps "
+             "the historical oracle reachable end-to-end)")
     parser.add_argument(
         "--verbose", action="store_true", help="print one line per simulation")
 
@@ -250,6 +258,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="Compare the two reallocation algorithms over matching "
                     "homogeneous sweeps.")
     _add_common_options(summary)
+
+    bench = commands.add_parser(
+        "bench", help="inspect committed benchmark reports",
+        description="Work with the committed BENCH_*.json reports.")
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    check = bench_commands.add_parser(
+        "check", help="verify recorded speedups against their floors",
+        description="Load every BENCH_*.json report, pair each recorded "
+                    "speedup with its min_speedup floor, and print a "
+                    "one-line pass/fail table. Exits non-zero when an "
+                    "enforced speedup has regressed below its floor (or "
+                    "when no reports are found).")
+    check.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="directory holding the BENCH_*.json reports (default: "
+             "the current directory)")
     return parser
 
 
@@ -277,7 +301,8 @@ def _sweep(runner: ExperimentRunner, args: argparse.Namespace,
     if key not in cache:
         cache[key] = runner.sweep(
             SweepConfig(algorithm=algorithm, heterogeneous=heterogeneous,
-                        target_jobs=_target_jobs(args)),
+                        target_jobs=_target_jobs(args),
+                        profile_engine=args.profile_engine),
             fresh=args.fresh,
         )
     return cache[key]
@@ -352,7 +377,8 @@ def _cmd_full_trace_preset(args: argparse.Namespace) -> int:
         for algorithm, heterogeneous in groups:
             sweep = runner.sweep(
                 SweepConfig(algorithm=algorithm, heterogeneous=heterogeneous,
-                            target_jobs=target),
+                            target_jobs=target,
+                            profile_engine=args.profile_engine),
                 fresh=True,
             )
             cells += len(sweep.metrics)
@@ -377,7 +403,8 @@ def _cmd_campaign_sweep(args: argparse.Namespace) -> int:
     if args.name is None:
         raise SystemExit("repro: error: campaign sweep needs a sweep name "
                          "(or --list to see the choices)")
-    spec = get_sweep(args.name, target_jobs=args.target_jobs)
+    spec = get_sweep(args.name, target_jobs=args.target_jobs,
+                     profile_engine=args.profile_engine)
     configs = spec.configs()
     started = time.perf_counter()
     conflicts = takeovers = 0
@@ -460,7 +487,8 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
             "repro: error: campaign worker is single-process by design; "
             "start several `campaign worker` processes instead"
         )
-    spec = get_sweep(args.sweep, target_jobs=args.target_jobs)
+    spec = get_sweep(args.sweep, target_jobs=args.target_jobs,
+                     profile_engine=args.profile_engine)
     store = _open_store(args)
     units = plan_units(spec.configs())
     progress = None
@@ -483,7 +511,8 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         raise SystemExit(
             "repro: error: campaign status reads a shared store (drop --no-store)"
         )
-    spec = get_sweep(args.sweep, target_jobs=args.target_jobs)
+    spec = get_sweep(args.sweep, target_jobs=args.target_jobs,
+                     profile_engine=args.profile_engine)
     store = _open_store(args)
     units = plan_units(spec.configs())
     status = sweep_status(units, store, stale_after=args.stale_after)
@@ -537,6 +566,16 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     print(f"store gc ({args.campaign}, {args.target_jobs} jobs/scenario): "
           f"{kept} documents kept, {removed} {verb} (store: {store.root})")
     return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    try:
+        checks = collect_checks(args.root)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro bench check: {exc}", file=sys.stderr)
+        return 1
+    print(render_checks(checks))
+    return 1 if failed_checks(checks) else 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -598,6 +637,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_figures(args)
         if args.command == "summary":
             return _cmd_summary(args)
+        if args.command == "bench":
+            return _cmd_bench_check(args)
     except BrokenPipeError:
         # stdout was closed early (e.g. piped into `head`): exit quietly,
         # pointing the dangling descriptor at devnull so interpreter

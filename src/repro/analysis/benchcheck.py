@@ -1,0 +1,163 @@
+"""Regression checks over committed benchmark reports.
+
+Every performance PR commits a ``BENCH_*.json`` report (written through
+:mod:`repro.analysis.benchio`) that records measured speedups next to the
+``min_speedup`` floor its benchmark asserts.  This module is the generic
+reader behind ``repro bench check``: it walks each report, pairs every
+recorded speedup with the floor that governs it, and reports which checks
+pass — so a speedup that silently decayed below its floor is caught from
+the committed numbers alone, without re-running the benchmarks.
+
+The walk understands the conventions the reports already use:
+
+* ``min_speedup`` at any node sets the floor for every speedup at or
+  below that node (nearer declarations win);
+* ``speedup_floor_scale`` at any node exempts sibling/descendant subtrees
+  keyed by an all-digit scale smaller than the given value — e.g. the
+  kernel report records a 100 000-event smoke scale whose speedup is
+  informational, with the 3× floor only asserted at 10⁶ events;
+* ``"online": true`` marks a variant whose speedup is reported for
+  context but not floor-checked (the heuristics report's MCT entry);
+* the speedup keys are ``speedup`` and ``drain_speedup``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, List, Mapping, Optional
+
+#: Keys whose numeric value is a measured speedup.
+SPEEDUP_KEYS = ("speedup", "drain_speedup")
+
+#: Glob matching the committed benchmark reports.
+BENCH_GLOB = "BENCH_*.json"
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupCheck:
+    """One measured speedup paired with the floor that governs it."""
+
+    report: str
+    label: str
+    speedup: float
+    floor: Optional[float]
+    enforced: bool
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True unless this is an enforced check below its floor."""
+        if not self.enforced or self.floor is None:
+            return True
+        return self.speedup >= self.floor
+
+    def status(self) -> str:
+        """``ok`` / ``REGRESSION`` / ``skipped (<reason>)`` for the table."""
+        if not self.enforced:
+            return f"skipped ({self.reason})" if self.reason else "skipped"
+        if self.floor is None:
+            return "skipped (no floor)"
+        return "ok" if self.ok else "REGRESSION"
+
+
+def iter_checks(report: str, data: Mapping[str, Any]) -> Iterator[SpeedupCheck]:
+    """Yield every speedup entry of one report document, depth-first."""
+    yield from _walk(report, data, path="", floor=None, scale=None,
+                     enforced=True, reason="")
+
+
+def _walk(
+    report: str,
+    node: Mapping[str, Any],
+    path: str,
+    floor: Optional[float],
+    scale: Optional[float],
+    enforced: bool,
+    reason: str,
+) -> Iterator[SpeedupCheck]:
+    local_floor = node.get("min_speedup", floor)
+    local_scale = node.get("speedup_floor_scale", scale)
+    if node.get("online") is True:
+        enforced, reason = False, "online variant"
+    for key in sorted(node):
+        value = node[key]
+        label = f"{path}.{key}" if path else key
+        if key in SPEEDUP_KEYS and isinstance(value, (int, float)):
+            yield SpeedupCheck(
+                report=report,
+                label=label,
+                speedup=float(value),
+                floor=None if local_floor is None else float(local_floor),
+                enforced=enforced and local_floor is not None,
+                reason=reason if not enforced else
+                ("no floor" if local_floor is None else ""),
+            )
+        elif isinstance(value, Mapping):
+            child_enforced, child_reason = enforced, reason
+            if (
+                child_enforced
+                and local_scale is not None
+                and key.isdigit()
+                and int(key) < local_scale
+            ):
+                child_enforced = False
+                child_reason = f"below floor scale {local_scale:g}"
+            yield from _walk(report, value, label, local_floor, local_scale,
+                             child_enforced, child_reason)
+
+
+def collect_checks(root: "Path | str" = ".") -> List[SpeedupCheck]:
+    """All speedup checks of every ``BENCH_*.json`` under ``root`` (sorted).
+
+    Raises
+    ------
+    FileNotFoundError
+        When ``root`` holds no benchmark reports at all — running the
+        check from the wrong directory should be loud, not green.
+    ValueError
+        When a report is not valid JSON or not a JSON object.
+    """
+    root = Path(root)
+    reports = sorted(root.glob(BENCH_GLOB))
+    if not reports:
+        raise FileNotFoundError(f"no {BENCH_GLOB} reports under {root}")
+    checks: List[SpeedupCheck] = []
+    for report in reports:
+        try:
+            data = json.loads(report.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{report}: not valid JSON: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise ValueError(f"{report}: expected a JSON object at the top level")
+        checks.extend(iter_checks(report.name, data))
+    return checks
+
+
+def render_checks(checks: List[SpeedupCheck]) -> str:
+    """One line per check plus a summary line (the ``bench check`` output)."""
+    lines = []
+    width = max((len(f"{c.report}:{c.label}") for c in checks), default=0)
+    for check in checks:
+        floor = "-" if check.floor is None else f"{check.floor:g}x"
+        speedup = (
+            "inf" if math.isinf(check.speedup) else f"{check.speedup:g}x"
+        )
+        lines.append(
+            f"{check.report + ':' + check.label:<{width}}  "
+            f"{speedup:>8} (floor {floor:>5})  {check.status()}"
+        )
+    enforced = [c for c in checks if c.enforced and c.floor is not None]
+    failed = [c for c in enforced if not c.ok]
+    lines.append(
+        f"bench check: {len(checks)} speedups, {len(enforced)} enforced, "
+        f"{len(failed)} regression(s)"
+    )
+    return "\n".join(lines)
+
+
+def failed_checks(checks: List[SpeedupCheck]) -> List[SpeedupCheck]:
+    """The enforced checks currently below their floor."""
+    return [c for c in checks if c.enforced and c.floor is not None and not c.ok]

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
+from repro.batch.arrayprofile import DEFAULT_PROFILE_ENGINE, make_profile
 from repro.batch.job import Job
 from repro.batch.profile import AvailabilityProfile
 
@@ -64,9 +65,21 @@ class ClusterState:
     speed:
         Relative speed factor; 1.0 is the reference (slowest) cluster.
         Runtimes and walltimes are divided by this factor.
+    profile_engine:
+        Engine of the live availability profile: ``"array"`` (columnar
+        NumPy, the default) or ``"list"`` (the historical breakpoint
+        lists, kept as the differential oracle).  Both engines are
+        float-identical; :meth:`build_profile` always uses the list
+        engine, since it *is* the oracle.
     """
 
-    def __init__(self, name: str, total_procs: int, speed: float = 1.0) -> None:
+    def __init__(
+        self,
+        name: str,
+        total_procs: int,
+        speed: float = 1.0,
+        profile_engine: str = DEFAULT_PROFILE_ENGINE,
+    ) -> None:
         if total_procs <= 0:
             raise ValueError(f"cluster {name}: total_procs must be positive, got {total_procs}")
         if speed <= 0:
@@ -74,12 +87,13 @@ class ClusterState:
         self.name = name
         self.total_procs = int(total_procs)
         self.speed = float(speed)
+        self.profile_engine = profile_engine
         #: currently available processors (== total_procs on static platforms)
         self.capacity = int(total_procs)
         self._running: Dict[int, RunningJob] = {}
         # Live availability profile of the running set, updated in place by
         # start_job/finish_job and advanced lazily by availability().
-        self._profile = AvailabilityProfile(self.total_procs, start_time=0.0)
+        self._profile = make_profile(profile_engine, self.total_procs, start_time=0.0)
 
     # ------------------------------------------------------------------ #
     # Running set                                                        #
@@ -211,8 +225,11 @@ class ClusterState:
     # ------------------------------------------------------------------ #
     # Profiles                                                           #
     # ------------------------------------------------------------------ #
-    def availability(self, now: float) -> AvailabilityProfile:
+    def availability(self, now: float):
         """Live availability profile advanced to ``now`` (returned as a copy).
+
+        The concrete type follows :attr:`profile_engine`
+        (:class:`~repro.batch.arrayprofile.ArrayProfile` by default).
 
         The live profile is maintained incrementally by
         :meth:`start_job`/:meth:`finish_job` (and by capacity changes);

@@ -197,6 +197,51 @@ class IncrementalPlanner:
                 return index
         return -1
 
+    def estimate_many(self, jobs: Sequence[Job]) -> List[float]:
+        """Expected completion time of every job in ``jobs``, as pure queries.
+
+        A job already waiting here reports its planned completion; any
+        other job is placed *hypothetically* at the end of the queue
+        (respecting the FCFS frontier when the policy keeps queue order)
+        against the live residual profile, which is never mutated.  On the
+        array engine the hypothetical placements go through one
+        :meth:`~repro.batch.arrayprofile.ArrayProfile.earliest_slot_many`
+        call — the open-run structure of the residual is built once per
+        distinct processor count instead of once per job — with results
+        float-identical to per-job ``earliest_slot`` queries.
+        """
+        plan = self.cluster_plan()
+        earliest = self.frontier() if self.keep_queue_order else self.plan.now
+        residual = self.plan.residual
+        speed = self.speed
+        cluster = self.cluster
+        estimates: List[float] = [math.inf] * len(jobs)
+        pending: List[tuple[int, int, float]] = []
+        for position, job in enumerate(jobs):
+            if not cluster.fits(job):
+                continue
+            if job.job_id in plan:
+                estimates[position] = plan.planned_end(job.job_id)
+                continue
+            pending.append((position, job.procs, job.walltime_on(speed)))
+        if not pending:
+            return estimates
+        if hasattr(residual, "earliest_slot_many"):
+            starts = residual.earliest_slot_many(
+                [procs for _, procs, _ in pending],
+                [duration for _, _, duration in pending],
+                earliest,
+            )
+        else:
+            starts = [
+                residual.earliest_slot(procs, duration, earliest)
+                for _, procs, duration in pending
+            ]
+        for (position, _, duration), start in zip(pending, starts):
+            if math.isfinite(start):
+                estimates[position] = start + duration
+        return estimates
+
     # ------------------------------------------------------------------ #
     # Events                                                             #
     # ------------------------------------------------------------------ #

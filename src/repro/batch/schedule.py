@@ -161,13 +161,28 @@ class IncrementalPlan:
     def residual_before(self, index: int) -> AvailabilityProfile:
         """Profile a planner would see before placing queue position ``index``.
 
-        Reconstructed as a copy (the live residual is untouched); used by
-        introspection and the differential tests, not by the hot path.
+        Reconstructed as a copy (the live residual is observably untouched).
+        On the array engine the suffix reservations are released in bulk on
+        the live residual under a checkpoint and the mutation rolled back —
+        O(suffix + breakpoints) instead of copy-and-replay; the list engine
+        keeps the historical per-entry replay.
         """
-        profile = self.residual.copy()
-        for entry in self.entries[index:]:
-            if entry.is_feasible():
-                profile.add(entry.planned_start, entry.planned_end, entry.procs)
+        residual = self.residual
+        suffix = [
+            (entry.planned_start, entry.planned_end, entry.procs)
+            for entry in self.entries[index:]
+            if entry.is_feasible()
+        ]
+        if hasattr(residual, "checkpoint"):
+            state = residual.checkpoint()
+            try:
+                residual.release_many(suffix)
+                return residual.copy()
+            finally:
+                residual.rollback(state)
+        profile = residual.copy()
+        for start, end, procs in suffix:
+            profile.add(start, end, procs)
         profile.compact()
         return profile
 
@@ -196,7 +211,16 @@ class IncrementalPlan:
             end = math.inf
         entry = PlannedJob(job_id, procs, start, end)
         self.entries.append(entry)
-        self._invalidate()
+        # A tail append can only raise the frontier, so the cached value is
+        # maintained instead of recomputed — submits stay O(1) in queue
+        # depth on the frontier side.
+        self._cached_plan = None
+        if (
+            self._frontier is not None
+            and math.isfinite(start)
+            and start > self._frontier
+        ):
+            self._frontier = start
         return entry
 
     def restore_suffix(self, index: int) -> None:
@@ -209,11 +233,18 @@ class IncrementalPlan:
         entries = self.entries
         if index >= len(entries):
             return
-        for entry in entries[index:]:
-            if entry.is_feasible():
-                self.residual.add(entry.planned_start, entry.planned_end, entry.procs)
+        suffix = [
+            (entry.planned_start, entry.planned_end, entry.procs)
+            for entry in entries[index:]
+            if entry.is_feasible()
+        ]
         del entries[index:]
-        self.residual.compact()
+        if hasattr(self.residual, "release_many"):
+            self.residual.release_many(suffix)
+        else:
+            for start, end, procs in suffix:
+                self.residual.add(start, end, procs)
+            self.residual.compact()
         self._invalidate()
 
     def remove_started(self, index: int) -> None:

@@ -44,6 +44,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.batch.arrayprofile import DEFAULT_PROFILE_ENGINE
 from repro.batch.cluster import ClusterState, RunningJob
 from repro.batch.job import Job, JobState
 from repro.batch.policies import BatchPolicy, IncrementalPlanner
@@ -87,6 +88,9 @@ class BatchServer:
     on_outage_kill:
         Optional callback invoked as ``on_outage_kill(job)`` for every job
         killed (and requeued) by a capacity shrink.
+    profile_engine:
+        Availability-profile engine of the cluster (``"array"`` or
+        ``"list"``); see :class:`~repro.batch.cluster.ClusterState`.
     """
 
     def __init__(
@@ -100,9 +104,10 @@ class BatchServer:
         on_start: Optional[Callable[[Job], None]] = None,
         timeline: Optional[AvailabilityTimeline] = None,
         on_outage_kill: Optional[Callable[[Job], None]] = None,
+        profile_engine: str = DEFAULT_PROFILE_ENGINE,
     ) -> None:
         self.kernel = kernel
-        self.cluster = ClusterState(name, total_procs, speed)
+        self.cluster = ClusterState(name, total_procs, speed, profile_engine=profile_engine)
         if isinstance(policy, str):
             policy = BatchPolicy(policy.lower())
         self.policy = policy
@@ -265,28 +270,8 @@ class BatchServer:
         """
         if not jobs:
             return []
-        now = self.kernel.now
-        self._planner.advance(now)
-        plan = self._planner.cluster_plan()
-        frontier = self._planner.frontier() if self.policy is BatchPolicy.FCFS else now
-        residual = self._planner.residual
-        speed = self.speed
-        cluster = self.cluster
-        estimates: List[float] = []
-        for job in jobs:
-            if not cluster.fits(job):
-                estimates.append(math.inf)
-                continue
-            if job.job_id in plan:
-                estimates.append(plan.planned_end(job.job_id))
-                continue
-            duration = job.walltime_on(speed)
-            start = residual.earliest_slot(job.procs, duration, frontier)
-            if not math.isfinite(start):
-                estimates.append(math.inf)
-            else:
-                estimates.append(start + duration)
-        return estimates
+        self._planner.advance(self.kernel.now)
+        return self._planner.estimate_many(jobs)
 
     def planned_completion(self, job: Job) -> float:
         """Planned completion time of a job already waiting on this cluster."""

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.batch.arrayprofile import DEFAULT_PROFILE_ENGINE
 from repro.batch.job import Job, JobState
 from repro.batch.policies import BatchPolicy
 from repro.batch.server import BatchServer
@@ -72,6 +73,10 @@ class GridSimulation:
         Event-queue backend of the kernel (``"heap"`` or ``"calendar"``);
         both fire the identical event sequence, so results are
         byte-identical either way.
+    profile_engine:
+        Availability-profile engine of every cluster (``"array"`` or
+        ``"list"``); the engines are float-identical, so results are
+        byte-identical either way.
     """
 
     def __init__(
@@ -87,6 +92,7 @@ class GridSimulation:
         mapping_seed: int = 0,
         record_events: bool = False,
         kernel_queue: str = "heap",
+        profile_engine: str = DEFAULT_PROFILE_ENGINE,
     ) -> None:
         self.platform = platform
         self.jobs: List[Job] = list(jobs)
@@ -105,6 +111,7 @@ class GridSimulation:
         self.reallocation_period = reallocation_period
         self.reallocation_threshold = reallocation_threshold
         self.mapping_seed = mapping_seed
+        self.profile_engine = profile_engine
 
         self.event_trace: Optional[EventTrace] = EventTrace() if record_events else None
         self.kernel = SimulationKernel(trace=self.event_trace, queue=kernel_queue)
@@ -117,6 +124,7 @@ class GridSimulation:
                 policy=self.batch_policy,
                 on_completion=self._on_completion,
                 timeline=spec.timeline,
+                profile_engine=profile_engine,
             )
             for spec in platform
         ]

@@ -387,3 +387,96 @@ class TestOutageSweepCli:
             "--store", str(tmp_path / "store"),
         ]) == 0
         assert "disruptions:" not in capsys.readouterr().out
+
+
+class TestBenchCheck:
+    @staticmethod
+    def _write(tmp_path, name, payload):
+        import json
+
+        (tmp_path / name).write_text(json.dumps(payload))
+
+    def test_all_floors_met(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_alpha.json",
+                    {"min_speedup": 2.0, "speedup": 3.5})
+        code = main(["bench", "check", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 regression(s)" in out
+        assert "BENCH_alpha.json:speedup" in out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_alpha.json",
+                    {"min_speedup": 2.0, "speedup": 1.4})
+        code = main(["bench", "check", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "1 regression(s)" in out
+
+    def test_floor_scale_gates_small_runs(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_alpha.json", {
+            "min_speedup": 3.0,
+            "speedup_floor_scale": 1_000_000,
+            "scales": {
+                "100000": {"drain_speedup": 1.1},
+                "1000000": {"drain_speedup": 4.0},
+            },
+        })
+        code = main(["bench", "check", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "below floor scale" in out
+        assert "1 enforced" in out
+
+    def test_online_nodes_exempt(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_alpha.json", {
+            "min_speedup": 3.0,
+            "heuristics": {
+                "mct": {"speedup": 0.9, "online": True},
+                "minmin": {"speedup": 5.0, "online": False},
+            },
+        })
+        code = main(["bench", "check", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "online variant" in out
+
+    def test_no_floor_is_reported_not_enforced(self, tmp_path, capsys):
+        self._write(tmp_path, "BENCH_alpha.json", {"speedup": 0.4})
+        code = main(["bench", "check", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no floor" in out
+
+    def test_missing_reports_fail(self, tmp_path, capsys):
+        code = main(["bench", "check", "--root", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "no BENCH_*.json reports" in err
+
+    def test_repo_reports_pass(self, capsys):
+        # The committed reports themselves must satisfy their own floors.
+        code = main(["bench", "check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 regression(s)" in out
+
+
+class TestProfileEngineOption:
+    def test_campaign_status_accepts_engine(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        store.mkdir()
+        code = main([
+            "campaign", "status", "--sweep", "threshold-grid",
+            "--profile-engine", "list", "--store", str(store),
+        ])
+        assert code == 0
+        assert "threshold-grid" in capsys.readouterr().out
+
+    def test_rejects_unknown_engine(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "campaign", "status", "--sweep", "threshold-grid",
+                "--profile-engine", "linked-list", "--store", str(tmp_path),
+            ])

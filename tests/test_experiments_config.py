@@ -116,3 +116,59 @@ class TestSweepConfig:
         baselines = 7 * 2 * 2
         assert total_realloc == 336
         assert total_realloc + baselines == 364
+
+
+class TestProfileEnginePlumbing:
+    def test_default_engine_omitted_from_dict(self):
+        # Store keys must not move for the default engine: the documents
+        # written before the columnar engine existed stay addressable.
+        config = ExperimentConfig(scenario="jan")
+        assert config.profile_engine == "array"
+        assert "profile_engine" not in config.to_dict()
+
+    def test_list_engine_round_trips(self):
+        config = ExperimentConfig(scenario="jan", profile_engine="list")
+        data = config.to_dict()
+        assert data["profile_engine"] == "list"
+        assert ExperimentConfig.from_dict(data) == config
+
+    def test_from_dict_defaults_to_array(self):
+        data = ExperimentConfig(scenario="jan").to_dict()
+        assert ExperimentConfig.from_dict(data).profile_engine == "array"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile engine"):
+            ExperimentConfig(scenario="jan", profile_engine="linked-list")
+        with pytest.raises(ValueError, match="unknown profile engine"):
+            SweepConfig(
+                algorithm="standard",
+                heterogeneous=False,
+                profile_engine="linked-list",
+            )
+
+    def test_sweep_config_threads_engine_to_cells(self):
+        sweep = SweepConfig(
+            algorithm="standard",
+            heterogeneous=False,
+            scenarios=("jan",),
+            batch_policies=("fcfs",),
+            heuristics=("mct",),
+            profile_engine="list",
+        )
+        configs = sweep.configs()
+        assert configs and all(c.profile_engine == "list" for c in configs)
+
+    def test_get_sweep_engine_override(self):
+        from repro.experiments.sweeps import get_sweep
+
+        spec = get_sweep("threshold-grid", profile_engine="list")
+        cells = spec.cells()
+        assert cells and all(c.profile_engine == "list" for c, _ in cells)
+        default_cells = get_sweep("threshold-grid").cells()
+        assert all(c.profile_engine == "array" for c, _ in default_cells)
+
+    def test_baseline_preserves_engine(self):
+        config = ExperimentConfig(
+            scenario="jan", algorithm="standard", profile_engine="list"
+        )
+        assert config.baseline().profile_engine == "list"
