@@ -93,7 +93,13 @@ from repro.experiments.tables import (
     comparison_summary,
     table_workload,
 )
-from repro.store import DEFAULT_STALE_LOCK_SECONDS, ResultStore, config_key
+from repro.store import (
+    DEFAULT_RESULT_FORMAT,
+    DEFAULT_STALE_LOCK_SECONDS,
+    RESULT_FORMATS,
+    ResultStore,
+    config_key,
+)
 
 #: table number -> (metric, algorithm, heterogeneous)
 TABLE_SPECS = {number: spec for spec, number in TABLE_NUMBERS.items()}
@@ -118,6 +124,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         metavar="DIR", help="persistent result store directory "
                             "(default %(default)s, or $REPRO_STORE)")
     parser.add_argument(
+        "--store-format", choices=RESULT_FORMATS,
+        default=os.environ.get("REPRO_STORE_FORMAT", DEFAULT_RESULT_FORMAT),
+        metavar="{npz,json}",
+        help="serialization of new result documents (default %(default)s, "
+             "or $REPRO_STORE_FORMAT; reads are always format-agnostic)")
+    parser.add_argument(
         "--no-store", action="store_true",
         help="disable the persistent store (everything stays in memory)")
     parser.add_argument(
@@ -125,7 +137,7 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help="ignore stored results: re-simulate and refresh the store")
     parser.add_argument(
         "--profile-engine", choices=PROFILE_ENGINES,
-        default=DEFAULT_PROFILE_ENGINE, metavar="{array,list}",
+        default=DEFAULT_PROFILE_ENGINE, metavar="{auto,array,list}",
         help="availability-profile engine of every cluster (default "
              "%(default)s; the engines are float-identical, 'list' keeps "
              "the historical oracle reachable end-to-end)")
@@ -239,6 +251,15 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--dry-run", action="store_true",
                     help="only report what would be removed")
     _add_common_options(gc)
+    stats = store_commands.add_parser(
+        "stats", help="per-format document counts and bytes on disk",
+        description="Report the store's documents and bytes on disk, broken "
+                    "down by namespace (results, metrics) and format (npz, "
+                    "json, json.gz) — mixed-format stores produced by a "
+                    "format migration stay inspectable.")
+    stats.add_argument("--as-json", action="store_true",
+                       help="machine-readable output")
+    _add_common_options(stats)
 
     tables = commands.add_parser(
         "tables", help="regenerate tables of the paper",
@@ -286,7 +307,9 @@ def _open_store(args: argparse.Namespace) -> ResultStore:
         raise SystemExit(
             f"repro: error: --store {args.store!r} exists and is not a directory"
         )
-    return ResultStore(args.store)
+    return ResultStore(
+        args.store, format=getattr(args, "store_format", DEFAULT_RESULT_FORMAT)
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -568,6 +591,34 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    if args.no_store:
+        raise SystemExit("repro: error: store stats needs a store (drop --no-store)")
+    store = _open_store(args)
+    breakdown = store.disk_stats()
+    if args.as_json:
+        document = {"store": str(store.root), "namespaces": breakdown}
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    total_documents = 0
+    total_bytes = 0
+    print(f"store {store.root}:")
+    for namespace in ("results", "metrics"):
+        per_format = breakdown.get(namespace, {})
+        documents = sum(entry["documents"] for entry in per_format.values())
+        size = sum(entry["bytes"] for entry in per_format.values())
+        total_documents += documents
+        total_bytes += size
+        print(f"  {namespace}: {documents} document(s), {size} bytes")
+        for suffix in ("npz", "json", "json.gz"):
+            entry = per_format.get(suffix)
+            if entry is not None:
+                print(f"    {suffix}: {entry['documents']} document(s), "
+                      f"{entry['bytes']} bytes")
+    print(f"  total: {total_documents} document(s), {total_bytes} bytes")
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     try:
         checks = collect_checks(args.root)
@@ -630,6 +681,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return _cmd_campaign_status(args)
             return _cmd_campaign_run(args)
         if args.command == "store":
+            if args.store_command == "stats":
+                return _cmd_store_stats(args)
             return _cmd_store_gc(args)
         if args.command == "tables":
             return _cmd_tables(args)

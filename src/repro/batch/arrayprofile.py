@@ -37,7 +37,9 @@ two engines; the list profile remains the oracle.
 
 :func:`make_profile` is the engine factory used by
 :class:`~repro.batch.cluster.ClusterState`; the ``--profile-engine
-{array,list}`` escape hatch of the CLI reaches it end-to-end.
+{auto,array,list}`` escape hatch of the CLI reaches it end-to-end
+(``auto``, the default, picks the engine per scheduling policy — see
+:func:`repro.batch.policies.resolve_profile_engine`).
 """
 
 from __future__ import annotations
@@ -50,11 +52,15 @@ import numpy as np
 from repro.batch.profile import AvailabilityProfile, ProfileError
 
 #: Valid engine names of :func:`make_profile` (first entry is the default).
-PROFILE_ENGINES: Tuple[str, ...] = ("array", "list")
+PROFILE_ENGINES: Tuple[str, ...] = ("auto", "array", "list")
 
-#: Default engine of every cluster (the list engine stays reachable as the
-#: differential oracle and through the ``--profile-engine`` escape hatch).
-DEFAULT_PROFILE_ENGINE = "array"
+#: Default engine of every cluster.  ``"auto"`` selects per policy —
+#: ``list`` for FCFS (tail appends, where per-call NumPy overhead loses to
+#: plain Python lists), ``array`` otherwise — via
+#: :func:`repro.batch.policies.resolve_profile_engine`; both concrete
+#: engines stay reachable through the ``--profile-engine`` escape hatch
+#: and the list engine remains the differential oracle.
+DEFAULT_PROFILE_ENGINE = "auto"
 
 #: Initial breakpoint capacity of a fresh profile (doubles on demand).
 _INITIAL_CAPACITY = 16
@@ -642,9 +648,13 @@ def make_profile(
 
     ``"array"`` is the columnar engine above; ``"list"`` is the historical
     :class:`AvailabilityProfile`, kept as the differential oracle and
-    reachable end-to-end through ``--profile-engine list``.
+    reachable end-to-end through ``--profile-engine list``.  ``"auto"``
+    falls back to the array engine here: policy-aware selection happens in
+    :func:`repro.batch.policies.resolve_profile_engine` before the factory
+    is reached, so this branch only serves callers building a profile with
+    no policy in sight.
     """
-    if engine == "array":
+    if engine in ("array", "auto"):
         return ArrayProfile(total_procs, start_time)
     if engine == "list":
         return AvailabilityProfile(total_procs, start_time)

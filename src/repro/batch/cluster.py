@@ -67,10 +67,12 @@ class ClusterState:
         Runtimes and walltimes are divided by this factor.
     profile_engine:
         Engine of the live availability profile: ``"array"`` (columnar
-        NumPy, the default) or ``"list"`` (the historical breakpoint
-        lists, kept as the differential oracle).  Both engines are
-        float-identical; :meth:`build_profile` always uses the list
-        engine, since it *is* the oracle.
+        NumPy) or ``"list"`` (the historical breakpoint lists, kept as
+        the differential oracle); ``"auto"`` falls back to ``"array"``
+        here — callers that know the scheduling policy resolve it first
+        via :func:`~repro.batch.policies.resolve_profile_engine`.  Both
+        engines are float-identical; :meth:`build_profile` always uses
+        the list engine, since it *is* the oracle.
     """
 
     def __init__(

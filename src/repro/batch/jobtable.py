@@ -28,7 +28,7 @@ rebuild object views chunk by chunk when the object world is needed.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,30 @@ _INITIAL_CAPACITY = 1024
 #: ``state`` column codes, in :class:`JobState` declaration order.
 _STATE_ORDER: Tuple[JobState, ...] = tuple(JobState)
 _STATE_CODE: Dict[JobState, int] = {state: i for i, state in enumerate(_STATE_ORDER)}
+_STATE_CODE_BY_VALUE: Dict[str, int] = {
+    state.value: code for state, code in _STATE_CODE.items()
+}
+
+#: Serialized column names and dtypes of the static fields, in layout order.
+STATIC_COLUMNS: Tuple[Tuple[str, np.dtype], ...] = (
+    ("job_id", np.dtype(np.int64)),
+    ("submit_time", np.dtype(np.float64)),
+    ("procs", np.dtype(np.int64)),
+    ("runtime", np.dtype(np.float64)),
+    ("walltime", np.dtype(np.float64)),
+    ("site_code", np.dtype(np.int32)),
+)
+
+#: Serialized column names and dtypes of the outcome fields, in layout order.
+OUTCOME_COLUMNS: Tuple[Tuple[str, np.dtype], ...] = (
+    ("start_time", np.dtype(np.float64)),
+    ("completion_time", np.dtype(np.float64)),
+    ("state", np.dtype(np.int8)),
+    ("killed", np.dtype(bool)),
+    ("reallocation_count", np.dtype(np.int32)),
+    ("outage_kills", np.dtype(np.int32)),
+    ("cluster_code", np.dtype(np.int32)),
+)
 
 
 class JobTable:
@@ -130,6 +154,186 @@ class JobTable:
             )
         return table
 
+    @classmethod
+    def from_record_dicts(cls, rows: Sequence[Mapping[str, Any]]) -> "JobTable":
+        """Build a table from serialized record dicts (see :meth:`record_dicts`).
+
+        The columnar inverse of :meth:`record_dicts`: one generator pass
+        per column straight into the backing arrays, so deserializing an
+        archive-scale result document never builds a
+        :class:`~repro.core.results.JobRecord` object.  An empty row list
+        yields an empty table without outcome columns.
+        """
+        n = len(rows)
+        table = cls(capacity=max(1, n))
+        if n == 0:
+            return table
+        table._job_id[:n] = np.fromiter(
+            (row["job_id"] for row in rows), dtype=np.int64, count=n
+        )
+        table._submit[:n] = np.fromiter(
+            (row["submit_time"] for row in rows), dtype=np.float64, count=n
+        )
+        table._procs[:n] = np.fromiter(
+            (row["procs"] for row in rows), dtype=np.int64, count=n
+        )
+        table._runtime[:n] = np.fromiter(
+            (row["runtime"] for row in rows), dtype=np.float64, count=n
+        )
+        table._walltime[:n] = np.fromiter(
+            (row["walltime"] for row in rows), dtype=np.float64, count=n
+        )
+
+        def intern(index: Dict[Optional[str], int], names: List[Optional[str]], name):
+            code = index.get(name)
+            if code is None:
+                code = len(names)
+                names.append(name)
+                index[name] = code
+            return code
+
+        table._site_code[:n] = np.fromiter(
+            (intern(table._site_index, table._sites, row["origin_site"]) for row in rows),
+            dtype=np.int32,
+            count=n,
+        )
+        table._alloc_outcomes()
+        table._start[:n] = np.fromiter(
+            (
+                math.nan if row["start_time"] is None else row["start_time"]
+                for row in rows
+            ),
+            dtype=np.float64,
+            count=n,
+        )
+        table._completion[:n] = np.fromiter(
+            (
+                math.nan if row["completion_time"] is None else row["completion_time"]
+                for row in rows
+            ),
+            dtype=np.float64,
+            count=n,
+        )
+        table._state[:n] = np.fromiter(
+            (_STATE_CODE_BY_VALUE[row["state"]] for row in rows), dtype=np.int8, count=n
+        )
+        table._killed[:n] = np.fromiter(
+            (row["killed"] for row in rows), dtype=bool, count=n
+        )
+        table._realloc[:n] = np.fromiter(
+            (row["reallocation_count"] for row in rows), dtype=np.int32, count=n
+        )
+        table._outage[:n] = np.fromiter(
+            (row.get("outage_kills", 0) for row in rows), dtype=np.int32, count=n
+        )
+        table._cluster_code[:n] = np.fromiter(
+            (
+                intern(table._cluster_index, table._clusters, row["final_cluster"])
+                for row in rows
+            ),
+            dtype=np.int32,
+            count=n,
+        )
+        table._n = n
+        return table
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, np.ndarray],
+        sites: Sequence[Optional[str]],
+        clusters: Optional[Sequence[Optional[str]]] = None,
+    ) -> "JobTable":
+        """Adopt deserialized column arrays (inverse of :meth:`to_columns`).
+
+        ``columns`` must hold every static column; the outcome columns are
+        all-or-nothing.  Category codes are validated against the ``sites``
+        / ``clusters`` lists so a corrupt document fails loudly (the store
+        treats any :class:`ValueError` as a corrupt-document cache miss).
+        """
+        job_id = np.asarray(columns.get("job_id"))
+        if job_id.dtype != np.int64 or job_id.ndim != 1:
+            raise ValueError("job_id column must be a one-dimensional int64 array")
+        n = job_id.shape[0]
+        table = cls(capacity=max(1, n))
+        present = set(columns)
+        static_names = {name for name, _ in STATIC_COLUMNS}
+        outcome_names = {name for name, _ in OUTCOME_COLUMNS}
+        if not static_names <= present:
+            raise ValueError(f"missing static columns: {sorted(static_names - present)}")
+        has_outcomes = bool(outcome_names & present)
+        if has_outcomes and not outcome_names <= present:
+            raise ValueError(
+                f"missing outcome columns: {sorted(outcome_names - present)}"
+            )
+        layout = STATIC_COLUMNS + (OUTCOME_COLUMNS if has_outcomes else ())
+        if has_outcomes:
+            table._alloc_outcomes()
+        targets = {
+            "job_id": table._job_id,
+            "submit_time": table._submit,
+            "procs": table._procs,
+            "runtime": table._runtime,
+            "walltime": table._walltime,
+            "site_code": table._site_code,
+            "start_time": table._start,
+            "completion_time": table._completion,
+            "state": table._state,
+            "killed": table._killed,
+            "reallocation_count": table._realloc,
+            "outage_kills": table._outage,
+            "cluster_code": table._cluster_code,
+        }
+        for name, dtype in layout:
+            column = np.asarray(columns[name])
+            if column.ndim != 1 or column.shape[0] != n:
+                raise ValueError(f"column {name!r} must hold {n} rows")
+            targets[name][:n] = column.astype(dtype, casting="same_kind", copy=False)
+        table._n = n
+        table._sites = list(sites)
+        table._site_index = {site: i for i, site in enumerate(table._sites)}
+        if n and not 0 <= int(table._site_code[:n].max()) < len(table._sites):
+            raise ValueError("site codes exceed the site category list")
+        if has_outcomes:
+            table._clusters = list(clusters) if clusters is not None else [None]
+            table._cluster_index = {
+                cluster: i for i, cluster in enumerate(table._clusters)
+            }
+            if n and not 0 <= int(table._cluster_code[:n].max()) < len(table._clusters):
+                raise ValueError("cluster codes exceed the cluster category list")
+            if n and not 0 <= int(table._state[:n].max()) < len(_STATE_ORDER):
+                raise ValueError("state codes exceed the JobState order")
+        return table
+
+    def to_columns(
+        self,
+    ) -> Tuple[Dict[str, np.ndarray], List[Optional[str]], List[Optional[str]]]:
+        """``(columns, sites, clusters)`` of the live rows, for serialization.
+
+        Columns are read-only views trimmed to the live row count in the
+        declaration order of :data:`STATIC_COLUMNS` /
+        :data:`OUTCOME_COLUMNS` (stable key order keeps serialized
+        documents byte-deterministic); outcome columns appear only when
+        the table carries outcomes.
+        """
+        columns: Dict[str, np.ndarray] = {
+            "job_id": self.job_id,
+            "submit_time": self.submit_time,
+            "procs": self.procs,
+            "runtime": self.runtime,
+            "walltime": self.walltime,
+            "site_code": self._view(self._site_code),
+        }
+        if self.has_outcomes:
+            columns["start_time"] = self.start_time
+            columns["completion_time"] = self.completion_time
+            columns["state"] = self.state_code
+            columns["killed"] = self.killed
+            columns["reallocation_count"] = self.reallocation_count
+            columns["outage_kills"] = self.outage_kills
+            columns["cluster_code"] = self._view(self._cluster_code)
+        return columns, list(self._sites), list(self._clusters)
+
     def append(
         self,
         job_id: int,
@@ -157,8 +361,14 @@ class JobTable:
         self._n = index + 1
         return index
 
-    def add_job(self, job: Job) -> int:
-        """Append one :class:`Job`; snapshots dynamic state when present."""
+    def add_job(self, job: Job, final: bool = False) -> int:
+        """Append one :class:`Job`; snapshots dynamic state when present.
+
+        With ``final=True`` the outcome columns are written unconditionally
+        — the snapshot path of a finished run, where even a job that never
+        started (rejected, or still pending at a truncated horizon) has a
+        definitive final state.
+        """
         index = self.append(
             job.job_id,
             job.submit_time,
@@ -168,7 +378,8 @@ class JobTable:
             site=job.origin_site,
         )
         if (
-            job.state is not JobState.PENDING
+            final
+            or job.state is not JobState.PENDING
             or job.start_time is not None
             or job.completion_time is not None
         ):
@@ -431,6 +642,92 @@ class JobTable:
         """Materialise every row as a pristine :class:`Job`, lazily."""
         for index in range(self._n):
             yield self.job(index)
+
+    def record(self, index: int):
+        """Materialise one row as a :class:`~repro.core.results.JobRecord`.
+
+        The per-id access path of a table-backed result: one object, not a
+        per-table walk.  Requires outcome columns (a record's state is
+        definitive by construction).
+        """
+        from repro.core.results import JobRecord
+
+        if not self.has_outcomes:
+            raise ValueError("record() needs outcome columns (no outcomes recorded)")
+        if not 0 <= index < self._n:
+            raise IndexError(f"row {index} out of range (table holds {self._n})")
+        start = float(self._start[index])
+        completion = float(self._completion[index])
+        return JobRecord(
+            job_id=int(self._job_id[index]),
+            submit_time=float(self._submit[index]),
+            procs=int(self._procs[index]),
+            runtime=float(self._runtime[index]),
+            walltime=float(self._walltime[index]),
+            origin_site=self._sites[self._site_code[index]],
+            final_cluster=self._clusters[self._cluster_code[index]],
+            start_time=None if math.isnan(start) else start,
+            completion_time=None if math.isnan(completion) else completion,
+            state=_STATE_ORDER[self._state[index]],
+            killed=bool(self._killed[index]),
+            reallocation_count=int(self._realloc[index]),
+            outage_kills=int(self._outage[index]),
+        )
+
+    def record_dicts(self, sort_by_job_id: bool = True) -> List[Dict[str, Any]]:
+        """Serialized record dicts of every row, straight from the columns.
+
+        Shape-identical to ``JobRecord.to_dict()`` per row, but built from
+        one column pass without materialising any intermediate
+        :class:`~repro.core.results.JobRecord` — the canonical (ascending
+        job-id) JSON payload of a result document.  Requires outcome
+        columns on a non-empty table.
+        """
+        n = self._n
+        if n == 0:
+            return []
+        if not self.has_outcomes:
+            raise ValueError("record_dicts() needs outcome columns (no outcomes recorded)")
+        if sort_by_job_id:
+            order = np.argsort(self._job_id[:n], kind="stable")
+            take = lambda column: column[:n][order].tolist()  # noqa: E731
+        else:
+            take = lambda column: column[:n].tolist()  # noqa: E731
+        job_ids = take(self._job_id)
+        submits = take(self._submit)
+        procs = take(self._procs)
+        runtimes = take(self._runtime)
+        walltimes = take(self._walltime)
+        site_codes = take(self._site_code)
+        starts = take(self._start)
+        completions = take(self._completion)
+        states = take(self._state)
+        killed = take(self._killed)
+        reallocs = take(self._realloc)
+        outages = take(self._outage)
+        cluster_codes = take(self._cluster_code)
+        sites = self._sites
+        clusters = self._clusters
+        return [
+            {
+                "job_id": job_ids[i],
+                "submit_time": submits[i],
+                "procs": procs[i],
+                "runtime": runtimes[i],
+                "walltime": walltimes[i],
+                "origin_site": sites[site_codes[i]],
+                "final_cluster": clusters[cluster_codes[i]],
+                "start_time": None if math.isnan(starts[i]) else starts[i],
+                "completion_time": (
+                    None if math.isnan(completions[i]) else completions[i]
+                ),
+                "state": _STATE_ORDER[states[i]].value,
+                "killed": killed[i],
+                "reallocation_count": reallocs[i],
+                "outage_kills": outages[i],
+            }
+            for i in range(n)
+        ]
 
     def records(self, chunk_size: int = 65536) -> Iterator[list]:
         """Yield lists of :class:`~repro.core.results.JobRecord` per chunk.

@@ -48,6 +48,24 @@ class BatchPolicy(enum.Enum):
         return self.value.upper()
 
 
+def resolve_profile_engine(engine: str, policy: BatchPolicy) -> str:
+    """Concrete availability-profile engine for ``policy``.
+
+    Resolves the ``"auto"`` default: FCFS gets the ``list`` engine —
+    its placements are tail appends, where the per-call overhead of the
+    NumPy primitives loses to plain Python lists (the regression the
+    profile benchmark gates) — every other policy gets ``array``.
+    Explicit engine names pass through untouched, so the
+    ``--profile-engine`` escape hatch still forces either engine
+    end-to-end.  The two engines are float-identical (the differential
+    suite holds them to exact equality), so auto-selection never moves a
+    table by a bit.
+    """
+    if engine != "auto":
+        return engine
+    return "list" if policy is BatchPolicy.FCFS else "array"
+
+
 class PlanningPolicy(Protocol):
     """Signature of a planning function."""
 

@@ -26,7 +26,12 @@ from repro.core.heuristics import (
     Sufferage,
     get_heuristic,
 )
-from repro.core.metrics import ComparisonMetrics, compare_runs, compare_tables
+from repro.core.metrics import (
+    ComparisonMetrics,
+    compare_runs,
+    compare_runs_reference,
+    compare_tables,
+)
 from repro.core.results import JobRecord, RunResult
 
 __all__ = [
@@ -44,6 +49,7 @@ __all__ = [
     "RunResult",
     "Sufferage",
     "compare_runs",
+    "compare_runs_reference",
     "compare_tables",
     "get_heuristic",
 ]

@@ -107,6 +107,32 @@ def compare_runs(
     Both runs must cover the same trace; jobs missing from either run
     (never completed) are excluded from the comparison, as in the paper
     where only jobs with a completion time can be compared.
+
+    This is a thin wrapper over :func:`compare_tables` — one metric
+    semantics, computed columnar.  On table-backed results
+    (:meth:`~repro.core.results.RunResult.to_table` is zero-copy there)
+    no per-job object is built; :func:`compare_runs_reference` keeps the
+    original per-record implementation as the differential oracle.
+    """
+    return compare_tables(
+        baseline.to_table(),
+        realloc.to_table(),
+        reallocations=realloc.total_reallocations,
+        tolerance=tolerance,
+    )
+
+
+def compare_runs_reference(
+    baseline: RunResult,
+    realloc: RunResult,
+    tolerance: float = COMPLETION_TOLERANCE,
+) -> ComparisonMetrics:
+    """Per-record reference implementation of :func:`compare_runs`.
+
+    Walks the completion-time dicts job by job exactly as the original
+    object pipeline did.  Kept (and exercised by the randomized
+    differential tests) as the oracle for :func:`compare_tables`; the
+    production paths all go columnar.
     """
     common, impacted = _impacted_job_ids(baseline, realloc, tolerance)
     n_common = len(common)
@@ -171,10 +197,11 @@ def compare_tables(
     table form does not carry run-level counters, so the reallocation
     count of the comparison is passed explicitly.
 
-    Semantics match :func:`compare_runs` (the differential test in
-    ``tests/test_jobtable.py`` holds the two to each other); the float
-    aggregates may differ from the per-record path only by summation
-    rounding in the last ulp.
+    Semantics match :func:`compare_runs_reference` (the differential test
+    in ``tests/test_jobtable.py`` holds the two to each other), including
+    bit-identical float aggregates: the response-time sums run
+    sequentially in ascending job-id order, the same order and
+    associativity as the reference path.
     """
     base_ids, base_completions, base_submits = _completed_columns(baseline)
     re_ids, re_completions, re_submits = _completed_columns(realloc)
@@ -190,11 +217,14 @@ def compare_tables(
     earlier = int(np.count_nonzero(impacted & (re_comp < base_comp)))
 
     if n_impacted:
+        # cumsum (not np.sum) so the additions stay strictly sequential:
+        # np.sum's pairwise blocking would diverge from the reference
+        # implementation in the last ulp on large impacted sets.
         base_mean = float(
-            np.sum(base_comp[impacted] - base_submits[base_idx][impacted])
+            np.cumsum(base_comp[impacted] - base_submits[base_idx][impacted])[-1]
         ) / n_impacted
         realloc_mean = float(
-            np.sum(re_comp[impacted] - re_submits[re_idx][impacted])
+            np.cumsum(re_comp[impacted] - re_submits[re_idx][impacted])[-1]
         ) / n_impacted
         relative = realloc_mean / base_mean if base_mean > 0 else 1.0
         pct_earlier = 100.0 * earlier / n_impacted

@@ -1,17 +1,29 @@
 """Result containers produced by the grid simulation.
 
 A :class:`RunResult` is the immutable outcome of one simulated experiment:
-one :class:`JobRecord` per job of the trace plus run-level counters
-(number of reallocations, simulated makespan, ...).  The evaluation metrics
-of the paper (:mod:`repro.core.metrics`) are computed by comparing two
+the final state of every job of the trace plus run-level counters (number
+of reallocations, simulated makespan, ...).  The evaluation metrics of the
+paper (:mod:`repro.core.metrics`) are computed by comparing two
 ``RunResult`` objects over the same trace — one with reallocation, one
 without.
+
+Since the columnar result pipeline the canonical backing of a result is a
+:class:`~repro.batch.jobtable.JobTable`: :meth:`RunResult.from_jobs` hands
+the final job state to the table in bulk, the store serializes the table's
+columns directly, and the aggregate metrics are NumPy reductions.  The
+object world — one :class:`JobRecord` per job — is materialised *lazily*:
+per id on :meth:`RunResult.__getitem__`, per chunk on iteration, and as a
+cached dict only when :attr:`RunResult.records` is actually read.  Results
+built from a plain record dict (hand-written tests, legacy callers) keep
+working unchanged; :meth:`RunResult.to_table` converts either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, Mapping, Optional
+
+import numpy as np
 
 from repro.batch.job import Job, JobState
 
@@ -112,7 +124,6 @@ class JobRecord:
         )
 
 
-@dataclass(slots=True)
 class RunResult:
     """Outcome of one simulated experiment.
 
@@ -121,7 +132,9 @@ class RunResult:
     label:
         Human-readable description of the configuration.
     records:
-        Mapping from job id to :class:`JobRecord`.
+        Mapping from job id to :class:`JobRecord` (mutually exclusive with
+        ``table``).  Without either, the result starts with an empty,
+        caller-mutable record dict — the hand-construction path.
     total_reallocations:
         Number of job moves performed by the reallocation agent (0 for the
         baseline runs).
@@ -138,17 +151,76 @@ class RunResult:
         Core-seconds of execution thrown away by outage kills.
     metadata:
         Free-form configuration details (scenario, platform, policy, ...).
+    table:
+        Columnar :class:`~repro.batch.jobtable.JobTable` backing (the
+        simulation / store path).  A table-backed result answers counts,
+        makespans and comparisons with NumPy reductions and materialises
+        :class:`JobRecord` objects only on demand.
     """
 
-    label: str
-    records: Dict[int, JobRecord] = field(default_factory=dict)
-    total_reallocations: int = 0
-    reallocation_events: int = 0
-    makespan: float = 0.0
-    jobs_killed_by_outage: int = 0
-    jobs_requeued: int = 0
-    work_lost: float = 0.0
-    metadata: Dict[str, object] = field(default_factory=dict)
+    __slots__ = (
+        "label",
+        "total_reallocations",
+        "reallocation_events",
+        "makespan",
+        "jobs_killed_by_outage",
+        "jobs_requeued",
+        "work_lost",
+        "metadata",
+        "_records",
+        "_table",
+        "_row_index",
+    )
+
+    def __init__(
+        self,
+        label: str,
+        records: Optional[Dict[int, JobRecord]] = None,
+        total_reallocations: int = 0,
+        reallocation_events: int = 0,
+        makespan: float = 0.0,
+        jobs_killed_by_outage: int = 0,
+        jobs_requeued: int = 0,
+        work_lost: float = 0.0,
+        metadata: Optional[Dict[str, object]] = None,
+        table: Optional["JobTable"] = None,
+    ) -> None:
+        if records is not None and table is not None:
+            raise ValueError("pass either records or table, not both")
+        self.label = label
+        self.total_reallocations = total_reallocations
+        self.reallocation_events = reallocation_events
+        self.makespan = makespan
+        self.jobs_killed_by_outage = jobs_killed_by_outage
+        self.jobs_requeued = jobs_requeued
+        self.work_lost = work_lost
+        self.metadata: Dict[str, object] = metadata if metadata is not None else {}
+        self._table = table
+        self._records: Optional[Dict[int, JobRecord]] = (
+            records if records is not None else (None if table is not None else {})
+        )
+        self._row_index: Optional[Dict[int, int]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunResult(label={self.label!r}, jobs={len(self)}, "
+            f"reallocations={self.total_reallocations}, makespan={self.makespan})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunResult):
+            return NotImplemented
+        return (
+            self.label == other.label
+            and self.total_reallocations == other.total_reallocations
+            and self.reallocation_events == other.reallocation_events
+            and self.makespan == other.makespan
+            and self.jobs_killed_by_outage == other.jobs_killed_by_outage
+            and self.jobs_requeued == other.jobs_requeued
+            and self.work_lost == other.work_lost
+            and self.metadata == other.metadata
+            and self.records == other.records
+        )
 
     # ------------------------------------------------------------------ #
     # Construction                                                       #
@@ -165,22 +237,27 @@ class RunResult:
         work_lost: float = 0.0,
         metadata: Optional[Mapping[str, object]] = None,
     ) -> "RunResult":
-        """Build a result from the final state of the trace's jobs."""
-        records = {job.job_id: JobRecord.from_job(job) for job in jobs}
-        makespan = max(
-            (r.completion_time for r in records.values() if r.completion_time is not None),
-            default=0.0,
-        )
-        return cls(
-            label=label,
-            records=records,
+        """Build a result from the final state of the trace's jobs.
+
+        The jobs are snapshot *in bulk* into a columnar
+        :class:`~repro.batch.jobtable.JobTable` (one row append per job,
+        outcome columns written unconditionally — the final state is
+        definitive); no per-job :class:`JobRecord` is materialised.
+        """
+        from repro.batch.jobtable import JobTable
+
+        table = JobTable()
+        for job in jobs:
+            table.add_job(job, final=True)
+        return cls.from_table(
+            label,
+            table,
             total_reallocations=total_reallocations,
             reallocation_events=reallocation_events,
-            makespan=makespan,
             jobs_killed_by_outage=jobs_killed_by_outage,
             jobs_requeued=jobs_requeued,
             work_lost=work_lost,
-            metadata=dict(metadata or {}),
+            metadata=metadata,
         )
 
     @classmethod
@@ -194,22 +271,15 @@ class RunResult:
         jobs_requeued: int = 0,
         work_lost: float = 0.0,
         metadata: Optional[Mapping[str, object]] = None,
-        chunk_size: int = 65536,
     ) -> "RunResult":
-        """Build a result from a columnar :class:`~repro.batch.jobtable.JobTable`.
+        """Adopt a columnar :class:`~repro.batch.jobtable.JobTable` as backing.
 
-        The table's outcome columns are read in chunks (one NumPy slice
-        per column per chunk) instead of per-object attribute walks, and
-        the makespan is a single vectorised reduction — this is the
-        snapshot path for archive-scale runs.
+        Zero copies: the result *owns* the table from here on (the
+        makespan is one vectorised reduction over its completion column)
+        and materialises :class:`JobRecord` objects only lazily.
         """
-        records: Dict[int, JobRecord] = {}
-        for chunk in table.records(chunk_size):
-            for record in chunk:
-                records[record.job_id] = record
         return cls(
             label=label,
-            records=records,
             total_reallocations=total_reallocations,
             reallocation_events=reallocation_events,
             makespan=table.makespan(),
@@ -217,28 +287,57 @@ class RunResult:
             jobs_requeued=jobs_requeued,
             work_lost=work_lost,
             metadata=dict(metadata or {}),
+            table=table,
         )
 
-    def to_table(self) -> "JobTable":
-        """Columnar view of the records (ascending job-id order).
+    @property
+    def records(self) -> Dict[int, JobRecord]:
+        """Mapping from job id to :class:`JobRecord`.
 
-        The returned :class:`~repro.batch.jobtable.JobTable` carries the
-        outcome columns, so the aggregate metrics (counts, response-time
-        means, makespan) become NumPy reductions instead of per-record
-        walks — the form :func:`repro.core.metrics.compare_tables`
+        On a table-backed result this materialises (and caches) one
+        record per row on first read — the legacy bulk-object view.  The
+        zero-object paths (:meth:`to_table`, the aggregate counts, the
+        metric comparisons) never touch it.
+        """
+        if self._records is None:
+            records: Dict[int, JobRecord] = {}
+            if len(self._table):
+                for chunk in self._table.records():
+                    for record in chunk:
+                        records[record.job_id] = record
+            self._records = records
+        return self._records
+
+    def to_table(self) -> "JobTable":
+        """Columnar view of the result.
+
+        A table-backed result returns its *own* table (zero copies, rows
+        in simulation order); a record-dict result builds one in ascending
+        job-id order.  Either carries the outcome columns, so aggregate
+        metrics (counts, response-time means, makespan) are NumPy
+        reductions — the form :func:`repro.core.metrics.compare_tables`
         consumes.
         """
+        if self._table is not None:
+            return self._table
         from repro.batch.jobtable import JobTable
 
-        return JobTable.from_records(self.records[job_id] for job_id in sorted(self.records))
+        return JobTable.from_records(
+            self._records[job_id] for job_id in sorted(self._records)
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation (see :meth:`JobRecord.to_dict`).
 
         Records are emitted in ascending job-id order so the serialized
         form of a result is canonical: two equal results produce identical
-        JSON documents.
+        JSON documents.  The table-backed path serializes straight from
+        the columns without materialising records.
         """
+        if self._table is not None and self._records is None:
+            records = self._table.record_dicts()
+        else:
+            records = [self.records[job_id].to_dict() for job_id in sorted(self.records)]
         return {
             "label": self.label,
             "total_reallocations": self.total_reallocations,
@@ -248,20 +347,16 @@ class RunResult:
             "jobs_requeued": self.jobs_requeued,
             "work_lost": self.work_lost,
             "metadata": dict(self.metadata),
-            "records": [
-                self.records[job_id].to_dict() for job_id in sorted(self.records)
-            ],
+            "records": records,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
-        """Inverse of :meth:`to_dict`."""
-        records = {
-            int(raw["job_id"]): JobRecord.from_dict(raw) for raw in data["records"]
-        }
+        """Inverse of :meth:`to_dict` (columnar: no records are built)."""
+        from repro.batch.jobtable import JobTable
+
         return cls(
             label=data["label"],
-            records=records,
             total_reallocations=int(data["total_reallocations"]),
             reallocation_events=int(data["reallocation_events"]),
             makespan=float(data["makespan"]),
@@ -269,57 +364,109 @@ class RunResult:
             jobs_requeued=int(data.get("jobs_requeued", 0)),
             work_lost=float(data.get("work_lost", 0.0)),
             metadata=dict(data["metadata"]),
+            table=JobTable.from_record_dicts(data["records"]),
         )
 
     # ------------------------------------------------------------------ #
     # Access                                                             #
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.records)
+        if self._records is not None:
+            return len(self._records)
+        return len(self._table)
 
     def __iter__(self) -> Iterator[JobRecord]:
-        return iter(self.records.values())
+        if self._records is not None:
+            return iter(self._records.values())
+        return self._iter_table()
+
+    def _iter_table(self) -> Iterator[JobRecord]:
+        if len(self._table) == 0:
+            return
+        for chunk in self._table.records():
+            yield from chunk
 
     def __getitem__(self, job_id: int) -> JobRecord:
-        return self.records[job_id]
+        if self._records is not None:
+            return self._records[job_id]
+        if self._row_index is None:
+            self._row_index = {
+                jid: i for i, jid in enumerate(self._table.job_id.tolist())
+            }
+        return self._table.record(self._row_index[job_id])
 
     @property
     def completed_count(self) -> int:
         """Number of jobs that finished."""
-        return sum(1 for r in self.records.values() if r.state is JobState.COMPLETED)
+        if self._records is None:
+            return self._table.completed_count
+        return sum(1 for r in self._records.values() if r.state is JobState.COMPLETED)
 
     @property
     def rejected_count(self) -> int:
         """Number of jobs that fit on no cluster of the platform."""
-        return sum(1 for r in self.records.values() if r.state is JobState.REJECTED)
+        if self._records is None:
+            return self._table.rejected_count
+        return sum(1 for r in self._records.values() if r.state is JobState.REJECTED)
 
     @property
     def killed_count(self) -> int:
         """Number of jobs killed at their walltime."""
-        return sum(1 for r in self.records.values() if r.killed)
+        if self._records is None:
+            return self._table.killed_count
+        return sum(1 for r in self._records.values() if r.killed)
 
     @property
     def disrupted_count(self) -> int:
         """Number of distinct jobs killed at least once by an outage."""
-        return sum(1 for r in self.records.values() if r.outage_kills > 0)
+        if self._records is None:
+            return self._table.disrupted_count
+        return sum(1 for r in self._records.values() if r.outage_kills > 0)
 
     def completion_times(self) -> Dict[int, float]:
         """Job id -> completion time, for completed jobs only."""
+        if self._records is None:
+            table = self._table
+            completion = table.completion_time
+            if completion is None:
+                return {}
+            mask = ~np.isnan(completion)
+            return dict(
+                zip(table.job_id[mask].tolist(), completion[mask].tolist())
+            )
         return {
             job_id: record.completion_time
-            for job_id, record in self.records.items()
+            for job_id, record in self._records.items()
             if record.completion_time is not None
         }
 
     def response_times(self) -> Dict[int, float]:
         """Job id -> response time, for completed jobs only."""
+        if self._records is None:
+            table = self._table
+            completion = table.completion_time
+            if completion is None:
+                return {}
+            mask = ~np.isnan(completion)
+            return dict(
+                zip(
+                    table.job_id[mask].tolist(),
+                    (completion[mask] - table.submit_time[mask]).tolist(),
+                )
+            )
         return {
             job_id: record.response_time
-            for job_id, record in self.records.items()
+            for job_id, record in self._records.items()
             if record.response_time is not None
         }
 
     def mean_response_time(self) -> float:
         """Mean response time over all completed jobs (0.0 if none completed)."""
-        values = list(self.response_times().values())
+        if self._records is None:
+            return self._table.mean_response_time()
+        values = [
+            record.response_time
+            for record in self._records.values()
+            if record.response_time is not None
+        ]
         return sum(values) / len(values) if values else 0.0

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.batch.job import Job
-from repro.core.metrics import ComparisonMetrics, compare_runs
+from repro.core.metrics import ComparisonMetrics, compare_tables
 from repro.core.results import RunResult
 from repro.experiments.config import (
     DEFAULT_BENCH_TARGET_JOBS,
@@ -356,13 +356,20 @@ def run_campaign(
             _run_pool(campaign, pending, workers, store, note)
 
     # Metrics are cheap to derive, so compute them in the parent where both
-    # runs of every pair are guaranteed to be present.
+    # runs of every pair are guaranteed to be present.  The comparison runs
+    # columnar — on table-backed results (simulated or loaded from an .npz
+    # store) a warm campaign regenerates every metric without building a
+    # single per-job object.
     for config in needed:
         if config.is_baseline or config in campaign.metrics:
             continue
         baseline = campaign.results[config.baseline()]
         realloc = campaign.results[config]
-        metrics = compare_runs(baseline, realloc)
+        metrics = compare_tables(
+            baseline.to_table(),
+            realloc.to_table(),
+            reallocations=realloc.total_reallocations,
+        )
         if store is not None:
             store.put_metrics(config, metrics)
         campaign.metrics[config] = metrics

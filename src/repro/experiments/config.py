@@ -103,8 +103,10 @@ class ExperimentConfig:
         scenario's scaled trace duration, and its stochastic variants
         draw from the run's ``seed``.
     profile_engine:
-        Availability-profile engine of every cluster: ``"array"``
-        (columnar NumPy, the default) or ``"list"`` (the historical
+        Availability-profile engine of every cluster: ``"auto"`` (the
+        default — per-policy selection via
+        :func:`repro.batch.policies.resolve_profile_engine`),
+        ``"array"`` (columnar NumPy) or ``"list"`` (the historical
         breakpoint lists, kept as the differential oracle).  The engines
         are float-identical, so this knob never changes a result — it is
         an escape hatch and a verification tool, not an axis.
@@ -199,9 +201,10 @@ class ExperimentConfig:
         while ``None`` so every static configuration keeps the exact
         canonical form (and store key) it had before dynamic platforms
         existed — warm stores stay warm.  ``profile_engine`` is omitted
-        while ``"array"`` for the same reason — and since the engines
-        are float-identical, the result documents are interchangeable
-        anyway; only an explicit ``"list"`` request is recorded.
+        while it equals the default for the same reason — and since the
+        engines are float-identical, the result documents are
+        interchangeable anyway; only an explicit engine request is
+        recorded.
         """
         data = asdict(self)
         if data["outage_script"] is None:

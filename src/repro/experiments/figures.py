@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.batch.job import Job
 from repro.batch.server import BatchServer
 from repro.core.metrics import compare_runs
@@ -242,16 +244,31 @@ def figure2_side_effects(
         heuristic=heuristic,
     ).run()
 
-    base_completions = baseline.completion_times()
-    realloc_completions = realloc.completion_times()
-    advanced: List[JobDelta] = []
-    delayed: List[JobDelta] = []
-    for job_id in sorted(set(base_completions) & set(realloc_completions)):
-        delta = JobDelta(job_id, base_completions[job_id], realloc_completions[job_id])
-        if delta.delta < -1e-6:
-            advanced.append(delta)
-        elif delta.delta > 1e-6:
-            delayed.append(delta)
+    # Align the completion columns of the two runs by job id and classify
+    # the impacted set with array comparisons; only the (few) impacted
+    # jobs are materialised as JobDelta objects.
+    base_ids, base_comp = baseline.to_table().completion_by_job_id()
+    re_ids, re_comp = realloc.to_table().completion_by_job_id()
+    _, base_idx, re_idx = np.intersect1d(
+        base_ids, re_ids, assume_unique=True, return_indices=True
+    )
+    common_ids = base_ids[base_idx]
+    base_common = base_comp[base_idx]
+    re_common = re_comp[re_idx]
+    deltas = re_common - base_common
+
+    def _deltas(mask: "np.ndarray") -> List[JobDelta]:
+        return [
+            JobDelta(int(job_id), base_done, re_done)
+            for job_id, base_done, re_done in zip(
+                common_ids[mask].tolist(),
+                base_common[mask].tolist(),
+                re_common[mask].tolist(),
+            )
+        ]
+
+    advanced = _deltas(deltas < -1e-6)
+    delayed = _deltas(deltas > 1e-6)
     metrics = compare_runs(baseline, realloc)
     description = (
         f"Scenario {scenario_name} at scale {scale}: {metrics.reallocations} reallocations "

@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.batch.job import Job
-from repro.core.metrics import ComparisonMetrics, compare_runs
+from repro.core.metrics import ComparisonMetrics, compare_tables
 from repro.core.results import RunResult
 from repro.experiments.campaign import (
     execute_config,
@@ -134,7 +134,13 @@ class ExperimentRunner:
         if metrics is None:
             baseline = self.baseline(config)
             realloc = self.run(config)
-            metrics = compare_runs(baseline, realloc)
+            # Compare columnar: on table-backed results (simulated or
+            # npz-loaded) this never materialises a per-job object.
+            metrics = compare_tables(
+                baseline.to_table(),
+                realloc.to_table(),
+                reallocations=realloc.total_reallocations,
+            )
             if self.store is not None:
                 self.store.put_metrics(config, metrics)
         self._metrics_cache[config] = metrics

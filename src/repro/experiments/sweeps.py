@@ -103,7 +103,8 @@ class SweepSpec:
     seed:
         Workload generation seed shared by every cell.
     profile_engine:
-        Availability-profile engine shared by every cell (``"array"`` or
+        Availability-profile engine shared by every cell (``"auto"``
+        resolves per batch policy, or an explicit ``"array"`` /
         ``"list"``).  Not an axis: the engines are float-identical, so
         gridding over them would simulate every cell twice for byte-equal
         results.

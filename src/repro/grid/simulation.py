@@ -74,7 +74,8 @@ class GridSimulation:
         both fire the identical event sequence, so results are
         byte-identical either way.
     profile_engine:
-        Availability-profile engine of every cluster (``"array"`` or
+        Availability-profile engine of every cluster (``"auto"``
+        resolves per batch policy, or an explicit ``"array"`` /
         ``"list"``); the engines are float-identical, so results are
         byte-identical either way.
     """

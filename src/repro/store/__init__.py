@@ -1,8 +1,9 @@
 """Persistent, content-addressed storage for experiment results.
 
-The :class:`~repro.store.filestore.ResultStore` keeps one JSON document per
-simulated experiment on disk, keyed by a stable hash of the full
-:class:`~repro.experiments.config.ExperimentConfig`.  It lets the campaign
+The :class:`~repro.store.filestore.ResultStore` keeps one document per
+simulated experiment on disk — binary columnar ``.npz`` by default, JSON
+via the ``format=`` knob, both read transparently — keyed by a stable
+hash of the full :class:`~repro.experiments.config.ExperimentConfig`.  It lets the campaign
 engine (:mod:`repro.experiments.campaign`) and the
 :class:`~repro.experiments.runner.ExperimentRunner` skip simulations that
 were already paid for in a previous process: a warm store regenerates every
@@ -24,7 +25,9 @@ table of the paper with zero re-simulations.
 
 from repro.store.filestore import (
     DEFAULT_COMPRESS_THRESHOLD,
+    DEFAULT_RESULT_FORMAT,
     DEFAULT_STALE_LOCK_SECONDS,
+    RESULT_FORMATS,
     SCHEMA_VERSION,
     ResultStore,
     StoreStats,
@@ -34,7 +37,9 @@ from repro.store.filestore import (
 
 __all__ = [
     "DEFAULT_COMPRESS_THRESHOLD",
+    "DEFAULT_RESULT_FORMAT",
     "DEFAULT_STALE_LOCK_SECONDS",
+    "RESULT_FORMATS",
     "SCHEMA_VERSION",
     "ResultStore",
     "StoreStats",

@@ -28,7 +28,7 @@ from repro.batch.arrayprofile import (
 )
 from repro.batch.cluster import ClusterState
 from repro.batch.job import Job
-from repro.batch.policies import BatchPolicy, IncrementalPlanner
+from repro.batch.policies import BatchPolicy, IncrementalPlanner, resolve_profile_engine
 from repro.batch.profile import AvailabilityProfile, ProfileError
 from repro.batch.server import BatchServer
 from repro.sim.kernel import SimulationKernel
@@ -54,10 +54,24 @@ class TestMakeProfile:
         with pytest.raises(ValueError, match="unknown profile engine"):
             make_profile("linked-list", 8)
 
-    def test_default_is_array(self):
-        assert DEFAULT_PROFILE_ENGINE == "array"
+    def test_default_is_auto(self):
+        assert DEFAULT_PROFILE_ENGINE == "auto"
+        # "auto" without a policy in sight falls back to the array engine.
         cluster = ClusterState("c", 16)
         assert isinstance(cluster.availability(0.0), ArrayProfile)
+
+    def test_auto_resolves_per_policy(self):
+        assert resolve_profile_engine("auto", BatchPolicy.FCFS) == "list"
+        assert resolve_profile_engine("auto", BatchPolicy.CBF) == "array"
+        # Explicit engines pass through untouched.
+        assert resolve_profile_engine("list", BatchPolicy.CBF) == "list"
+        assert resolve_profile_engine("array", BatchPolicy.FCFS) == "array"
+
+    def test_auto_reaches_server_per_policy(self):
+        fcfs = BatchServer(SimulationKernel(), "c", 16, policy="fcfs")
+        assert isinstance(fcfs.cluster.availability(0.0), AvailabilityProfile)
+        cbf = BatchServer(SimulationKernel(), "c", 16, policy="cbf")
+        assert isinstance(cbf.cluster.availability(0.0), ArrayProfile)
 
     def test_list_engine_reaches_cluster(self):
         cluster = ClusterState("c", 16, profile_engine="list")

@@ -246,7 +246,7 @@ class TestDrainUnits:
 
         from repro.store import SCHEMA_VERSION
 
-        store = ResultStore(tmp_path / "store")
+        store = ResultStore(tmp_path / "store", format="json")
         units = plan_units([config()])
         drain_units(units, store)
         for unit in units:

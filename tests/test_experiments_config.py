@@ -123,7 +123,7 @@ class TestProfileEnginePlumbing:
         # Store keys must not move for the default engine: the documents
         # written before the columnar engine existed stay addressable.
         config = ExperimentConfig(scenario="jan")
-        assert config.profile_engine == "array"
+        assert config.profile_engine == "auto"
         assert "profile_engine" not in config.to_dict()
 
     def test_list_engine_round_trips(self):
@@ -132,9 +132,9 @@ class TestProfileEnginePlumbing:
         assert data["profile_engine"] == "list"
         assert ExperimentConfig.from_dict(data) == config
 
-    def test_from_dict_defaults_to_array(self):
+    def test_from_dict_defaults_to_auto(self):
         data = ExperimentConfig(scenario="jan").to_dict()
-        assert ExperimentConfig.from_dict(data).profile_engine == "array"
+        assert ExperimentConfig.from_dict(data).profile_engine == "auto"
 
     def test_invalid_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown profile engine"):
@@ -165,7 +165,7 @@ class TestProfileEnginePlumbing:
         cells = spec.cells()
         assert cells and all(c.profile_engine == "list" for c, _ in cells)
         default_cells = get_sweep("threshold-grid").cells()
-        assert all(c.profile_engine == "array" for c, _ in default_cells)
+        assert all(c.profile_engine == "auto" for c, _ in default_cells)
 
     def test_baseline_preserves_engine(self):
         config = ExperimentConfig(

@@ -58,7 +58,10 @@ def make_metrics() -> ComparisonMetrics:
 
 @pytest.fixture
 def store(tmp_path) -> ResultStore:
-    return ResultStore(tmp_path / "store")
+    """A legacy-format store: the raw-document tests below peek at and
+    rewrite JSON bytes, so they pin ``format="json"``; the columnar
+    default format is covered by ``tests/test_store_formats.py``."""
+    return ResultStore(tmp_path / "store", format="json")
 
 
 class TestConfigKey:
@@ -242,8 +245,8 @@ class TestGarbageCollection:
 class TestCompression:
     @pytest.fixture
     def gz_store(self, tmp_path) -> ResultStore:
-        """A store that compresses every document, however small."""
-        return ResultStore(tmp_path / "store", compress_threshold=0)
+        """A JSON store that compresses every document, however small."""
+        return ResultStore(tmp_path / "store", compress_threshold=0, format="json")
 
     def test_round_trip_through_gzip(self, gz_store):
         config, result = make_config(), make_result()
@@ -257,23 +260,24 @@ class TestCompression:
         # The metrics document is tiny, the result document is not: with a
         # threshold between the two sizes only the result is compressed.
         config, result, metrics = make_config(), make_result(), make_metrics()
-        probe = ResultStore(tmp_path / "probe", compress_threshold=None)
+        probe = ResultStore(tmp_path / "probe", compress_threshold=None, format="json")
         result_size = probe.put_result(config, result).stat().st_size
         metrics_size = probe.put_metrics(config, metrics).stat().st_size
         assert metrics_size < result_size
-        store = ResultStore(tmp_path / "store", compress_threshold=result_size)
+        store = ResultStore(tmp_path / "store", compress_threshold=result_size,
+                            format="json")
         assert store.put_result(config, result).name.endswith(".json.gz")
         assert store.put_metrics(config, metrics).name.endswith(".json")
         assert store.get_result(config) is not None
         assert store.get_metrics(config) == metrics
 
     def test_none_threshold_disables_compression(self, tmp_path):
-        store = ResultStore(tmp_path / "store", compress_threshold=None)
+        store = ResultStore(tmp_path / "store", compress_threshold=None, format="json")
         path = store.put_result(make_config(), make_result())
         assert path.name.endswith(".json")
 
     def test_compressed_bytes_are_deterministic(self, gz_store, tmp_path):
-        other = ResultStore(tmp_path / "other", compress_threshold=0)
+        other = ResultStore(tmp_path / "other", compress_threshold=0, format="json")
         config, result = make_config(), make_result()
         first = gz_store.put_result(config, result)
         second = other.put_result(config, result)
@@ -289,7 +293,7 @@ class TestCompression:
     def test_rewrite_under_other_threshold_leaves_no_twin(self, gz_store):
         config, result = make_config(), make_result()
         gz_path = gz_store.put_result(config, result)
-        rewriter = ResultStore(gz_store.root, compress_threshold=None)
+        rewriter = ResultStore(gz_store.root, compress_threshold=None, format="json")
         plain_path = rewriter.put_result(config, result)
         assert plain_path.exists()
         assert not gz_path.exists()
@@ -428,7 +432,7 @@ class TestClaims:
         assert not store.has_result(config)
         store.put_result(config, make_result())
         assert store.has_result(config)
-        gz_store = ResultStore(tmp_path / "gz", compress_threshold=0)
+        gz_store = ResultStore(tmp_path / "gz", compress_threshold=0, format="json")
         gz_store.put_result(config, make_result())
         assert gz_store.has_result(config)
         assert not gz_store.has_metrics(config)
@@ -450,7 +454,7 @@ class TestResultIsCurrent:
         assert store.result_is_current(config)
 
     def test_true_through_gzip(self, tmp_path):
-        store = ResultStore(tmp_path / "store", compress_threshold=0)
+        store = ResultStore(tmp_path / "store", compress_threshold=0, format="json")
         config = make_config()
         store.put_result(config, make_result())
         assert store.result_is_current(config)
@@ -474,7 +478,7 @@ class TestResultIsCurrent:
         assert not store.result_is_current(config)
 
     def test_false_for_truncated_gzip(self, tmp_path):
-        store = ResultStore(tmp_path / "store", compress_threshold=0)
+        store = ResultStore(tmp_path / "store", compress_threshold=0, format="json")
         config = make_config()
         path = store.put_result(config, make_result())
         path.write_bytes(path.read_bytes()[:10])

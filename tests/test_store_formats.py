@@ -1,0 +1,319 @@
+"""Store document formats: columnar ``.npz`` default, JSON legacy, migration.
+
+:mod:`tests.test_store` pins ``format="json"`` and exercises the legacy
+document machinery byte by byte; this module covers the columnar default
+and the migration story between the two formats — round trips, byte
+determinism, transparent legacy read-back, mixed-format maintenance
+(gc / invalidate / stats / len), corruption and version handling, and the
+``repro store stats`` command.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.batch.job import JobState
+from repro.core.results import JobRecord, RunResult
+from repro.experiments.config import ExperimentConfig
+from repro.store import (
+    DEFAULT_RESULT_FORMAT,
+    RESULT_FORMATS,
+    ResultStore,
+    config_key,
+)
+
+
+def make_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        scenario="jan",
+        batch_policy="fcfs",
+        algorithm="standard",
+        heuristic="minmin",
+        scale=0.004,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def record(job_id: int, **overrides) -> JobRecord:
+    defaults = dict(
+        job_id=job_id, submit_time=float(job_id), procs=2, runtime=50.0,
+        walltime=100.0, origin_site="lyon", final_cluster="alpha",
+        start_time=float(job_id) + 1.0, completion_time=float(job_id) + 51.0,
+        state=JobState.COMPLETED, killed=False, reallocation_count=1,
+    )
+    defaults.update(overrides)
+    return JobRecord(**defaults)
+
+
+def make_result(label: str = "test/run") -> RunResult:
+    """A result mixing whole-second and full-precision time columns.
+
+    Job 2 is rejected (``None`` outcomes → NaN completion, so the
+    completion column cannot be integer-coded) and job 3 carries a
+    fractional completion time (heterogeneous-speed shape), exercising
+    both sides of the writer's lossless integer downcast.
+    """
+    records = {
+        1: record(1),
+        2: record(2, origin_site=None, final_cluster=None, start_time=None,
+                  completion_time=None, state=JobState.REJECTED,
+                  reallocation_count=0),
+        3: record(3, completion_time=4.0 + 50.0 / 1.4, killed=True),
+    }
+    return RunResult(
+        label=label, records=records, total_reallocations=1,
+        reallocation_events=3, makespan=54.0,
+        metadata={"scenario": "jan", "scale": 0.004, "n_jobs": 3},
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")  # columnar default
+
+
+class TestNpzRoundTrip:
+    def test_default_format_is_npz(self, store):
+        assert DEFAULT_RESULT_FORMAT == "npz"
+        assert store.format == "npz"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            ResultStore(tmp_path / "store", format="parquet")
+        assert set(RESULT_FORMATS) == {"npz", "json"}
+
+    def test_put_writes_npz_document_only(self, store):
+        path = store.put_result(make_config(), make_result())
+        assert path.suffix == ".npz"
+        assert path.exists()
+        base = store.result_path(make_config())
+        assert not base.exists() and not base.with_suffix(".json.gz").exists()
+
+    def test_round_trip_preserves_everything(self, store):
+        original = make_result()
+        store.put_result(make_config(), original)
+        loaded = store.get_result(make_config())
+        assert loaded == original
+        assert loaded.to_dict() == original.to_dict()
+        assert loaded.makespan == original.makespan
+        assert loaded.metadata == original.metadata
+
+    def test_round_trip_preserves_fractional_times(self, store):
+        store.put_result(make_config(), make_result())
+        loaded = store.get_result(make_config())
+        assert loaded[3].completion_time == 4.0 + 50.0 / 1.4
+        assert loaded[2].completion_time is None
+
+    def test_loaded_result_is_table_backed(self, store):
+        store.put_result(make_config(), make_result())
+        loaded = store.get_result(make_config())
+        assert loaded._records is None  # no per-job objects until asked
+        assert len(loaded) == 3
+
+    def test_npz_bytes_deterministic_across_stores(self, tmp_path):
+        paths = []
+        for name in ("one", "two"):
+            store = ResultStore(tmp_path / name)
+            paths.append(store.put_result(make_config(), make_result()))
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_document_is_a_regular_npz(self, store):
+        path = store.put_result(make_config(), make_result())
+        with np.load(path) as data:
+            assert "job_id" in data.files
+            assert len(data["job_id"]) == 3
+
+    def test_header_records_encodings(self, store):
+        path = store.put_result(make_config(), make_result())
+        with zipfile.ZipFile(path) as archive:
+            header = json.loads(archive.read("header.json"))
+        payload = header["payload"]
+        assert header["schema"] == 1 and header["kind"] == "run_result"
+        # Whole-second columns are integer-coded; the NaN-bearing
+        # completion column is not, so it keeps no predictor either.
+        assert "submit_time" in payload["integer_coded"]
+        assert "completion_time" not in payload["integer_coded"]
+        assert payload["encodings"]["submit_time"] == "delta"
+        assert payload["encodings"]["job_id"] == "delta"
+        assert "completion_time" not in payload["encodings"]
+
+    def test_result_is_current_for_npz(self, store):
+        assert store.result_is_current(make_config()) is False
+        store.put_result(make_config(), make_result())
+        assert store.result_is_current(make_config()) is True
+
+
+class TestLegacyMigration:
+    def test_reads_legacy_json_documents(self, tmp_path):
+        legacy = ResultStore(tmp_path / "store", format="json")
+        original = make_result()
+        legacy.put_result(make_config(), original)
+        modern = ResultStore(tmp_path / "store")  # npz-format reader
+        loaded = modern.get_result(make_config())
+        assert loaded == original
+
+    def test_reads_legacy_gz_documents(self, tmp_path):
+        legacy = ResultStore(tmp_path / "store", format="json", compress_threshold=0)
+        original = make_result()
+        path = legacy.put_result(make_config(), original)
+        assert path.name.endswith(".json.gz")
+        modern = ResultStore(tmp_path / "store")
+        assert modern.get_result(make_config()) == original
+
+    def test_rewrite_in_npz_drops_json_twin(self, tmp_path):
+        legacy = ResultStore(tmp_path / "store", format="json")
+        json_path = legacy.put_result(make_config(), make_result())
+        modern = ResultStore(tmp_path / "store")
+        npz_path = modern.put_result(make_config(), modern.get_result(make_config()))
+        assert npz_path.exists() and not json_path.exists()
+
+    def test_rewrite_in_json_drops_npz_twin(self, tmp_path):
+        modern = ResultStore(tmp_path / "store")
+        npz_path = modern.put_result(make_config(), make_result())
+        legacy = ResultStore(tmp_path / "store", format="json")
+        json_path = legacy.put_result(make_config(), make_result())
+        assert json_path.exists() and not npz_path.exists()
+
+    def test_mixed_store_len_counts_both_formats(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_result(make_config(), make_result())
+        legacy = ResultStore(tmp_path / "store", format="json")
+        legacy.put_result(make_config(seed=7), make_result())
+        assert len(store) == 2
+
+    def test_mixed_store_gc_keeps_either_format(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_result(make_config(), make_result())
+        legacy = ResultStore(tmp_path / "store", format="json")
+        legacy.put_result(make_config(seed=7), make_result())
+        legacy.put_result(make_config(seed=8), make_result())
+        kept, removed = store.gc([config_key(make_config()),
+                                  config_key(make_config(seed=7))])
+        assert (kept, removed) == (2, 1)
+        assert store.get_result(make_config()) is not None
+        assert store.get_result(make_config(seed=7)) is not None
+        assert store.get_result(make_config(seed=8)) is None
+
+    def test_invalidate_drops_every_format(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_result(make_config(), make_result())
+        # Plant a stale legacy twin next to the npz document by hand (a
+        # put through either store would have dropped the other format).
+        base = store.result_path(make_config())
+        base.write_text("{}", encoding="utf-8")
+        assert store.invalidate(make_config()) == 2
+        assert store.get_result(make_config()) is None
+        assert not store.has_result(make_config())
+
+    def test_disk_stats_breaks_down_by_format(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_result(make_config(), make_result())
+        legacy = ResultStore(tmp_path / "store", format="json")
+        legacy.put_result(make_config(seed=7), make_result())
+        results = store.disk_stats()["results"]
+        assert results["npz"]["documents"] == 1
+        assert results["json"]["documents"] == 1
+        assert results["npz"]["bytes"] > 0 and results["json"]["bytes"] > 0
+        assert "json.gz" not in results
+
+
+def _rewrite_header(path, mutate) -> None:
+    """Rewrite the header.json member of an npz document in place."""
+    with zipfile.ZipFile(path) as archive:
+        members = {name: archive.read(name) for name in archive.namelist()}
+    header = json.loads(members["header.json"])
+    mutate(header)
+    members["header.json"] = json.dumps(header, separators=(",", ":")).encode()
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name, data in members.items():
+            archive.writestr(name, data)
+    path.write_bytes(buffer.getvalue())
+
+
+class TestNpzResilience:
+    def test_corrupt_npz_is_dropped_and_recovers(self, store):
+        path = store.put_result(make_config(), make_result())
+        path.write_bytes(b"not a zip archive")
+        assert store.get_result(make_config()) is None
+        assert store.stats.corrupt_dropped == 1
+        assert not path.exists()
+        store.put_result(make_config(), make_result())
+        assert store.get_result(make_config()) == make_result()
+
+    def test_truncated_npz_is_dropped(self, store):
+        path = store.put_result(make_config(), make_result())
+        path.write_bytes(path.read_bytes()[:-40])
+        assert store.get_result(make_config()) is None
+        assert store.stats.corrupt_dropped == 1
+
+    def test_foreign_schema_counts_as_version_drop(self, store):
+        path = store.put_result(make_config(), make_result())
+
+        def bump(header):
+            header["schema"] = 999
+
+        _rewrite_header(path, bump)
+        assert store.result_is_current(make_config()) is False
+        assert store.get_result(make_config()) is None
+        assert store.stats.version_dropped == 1
+        assert store.stats.corrupt_dropped == 0
+        assert not path.exists()
+
+    def test_unknown_encoding_counts_as_corrupt(self, store):
+        path = store.put_result(make_config(), make_result())
+
+        def poison(header):
+            header["payload"]["encodings"]["submit_time"] = "xor"
+
+        _rewrite_header(path, poison)
+        assert store.get_result(make_config()) is None
+        assert store.stats.corrupt_dropped == 1
+
+    def test_missing_column_member_counts_as_corrupt(self, store):
+        path = store.put_result(make_config(), make_result())
+
+        def claim_extra(header):
+            header["payload"]["columns"].append("no_such_column")
+
+        _rewrite_header(path, claim_extra)
+        assert store.get_result(make_config()) is None
+        assert store.stats.corrupt_dropped == 1
+
+
+class TestStoreStatsCommand:
+    def test_text_breakdown(self, tmp_path, capsys):
+        store = ResultStore(tmp_path / "store")
+        store.put_result(make_config(), make_result())
+        legacy = ResultStore(tmp_path / "store", format="json")
+        legacy.put_result(make_config(seed=7), make_result())
+        main(["store", "stats", "--store", str(tmp_path / "store")])
+        out = capsys.readouterr().out
+        assert "results" in out and "npz" in out and "json" in out
+        assert "2 document(s)" in out
+
+    def test_json_breakdown(self, tmp_path, capsys):
+        store = ResultStore(tmp_path / "store")
+        store.put_result(make_config(), make_result())
+        main(["store", "stats", "--store", str(tmp_path / "store"), "--as-json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["namespaces"]["results"]["npz"]["documents"] == 1
+
+    def test_campaign_uses_store_format_option(self, tmp_path, capsys):
+        main([
+            "campaign", "run", "--algorithm", "standard",
+            "--platform", "homogeneous", "--target-jobs", "12",
+            "--store", str(tmp_path / "store"), "--store-format", "json",
+        ])
+        capsys.readouterr()
+        stats = ResultStore(tmp_path / "store").disk_stats()
+        assert "npz" not in stats["results"]
+        assert set(stats["results"]) <= {"json", "json.gz"}
