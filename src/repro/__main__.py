@@ -53,8 +53,10 @@ stored results and re-simulates everything, refreshing the store.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
+import signal
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -93,6 +95,18 @@ from repro.experiments.tables import (
     comparison_summary,
     table_workload,
 )
+from repro.grid.metascheduler import MappingPolicy
+from repro.platform.catalog import grid5000_platform, pwa_g5k_platform
+from repro.service import (
+    HTTPServiceClient,
+    MetaSchedulerService,
+    ServiceConfig,
+    ServiceHTTP,
+    bombard,
+    swf_specs,
+    synthetic_specs,
+)
+from repro.service.clock import CLOCK_MODES
 from repro.store import (
     DEFAULT_RESULT_FORMAT,
     DEFAULT_STALE_LOCK_SECONDS,
@@ -108,6 +122,7 @@ _ALGORITHMS = {"standard": ("standard",), "cancellation": ("cancellation",),
                "both": ("standard", "cancellation")}
 _PLATFORMS = {"homogeneous": (False,), "heterogeneous": (True,),
               "both": (False, True)}
+_SERVICE_PLATFORMS = {"grid5000": grid5000_platform, "pwa-g5k": pwa_g5k_platform}
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -143,6 +158,53 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
              "the historical oracle reachable end-to-end)")
     parser.add_argument(
         "--verbose", action="store_true", help="print one line per simulation")
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``serve`` and the self-hosted ``bombard`` mode."""
+    parser.add_argument(
+        "--platform", choices=sorted(_SERVICE_PLATFORMS), default="grid5000",
+        help="platform the service schedules on (default %(default)s)")
+    parser.add_argument(
+        "--heterogeneous", action="store_true",
+        help="use the heterogeneous flavour of the platform")
+    parser.add_argument(
+        "--policy", choices=("fcfs", "cbf"), default="fcfs",
+        help="local scheduling policy of every cluster (default %(default)s)")
+    parser.add_argument(
+        "--mapping", choices=[policy.value for policy in MappingPolicy],
+        default="mct", help="online mapping policy (default %(default)s)")
+    parser.add_argument(
+        "--clock", choices=CLOCK_MODES, default="virtual",
+        help="service clock: 'virtual' drives the simulation kernel as "
+             "fast as possible, 'real' follows the wall clock "
+             "(default %(default)s)")
+    parser.add_argument(
+        "--clock-rate", type=float, default=1.0, metavar="X",
+        help="simulated seconds per wall second in real-clock mode "
+             "(default %(default)s)")
+    parser.add_argument(
+        "--heartbeat", type=float, default=0.05, metavar="S",
+        help="scheduler heartbeat: one admission pass per S service-clock "
+             "seconds (default %(default)s)")
+    parser.add_argument(
+        "--admission-batch", type=int, default=512, metavar="N",
+        help="submissions mapped per admission pass (default %(default)s)")
+    parser.add_argument(
+        "--max-queue", type=int, default=100_000, metavar="N",
+        help="hard bound of the admission queue (default %(default)s)")
+    parser.add_argument(
+        "--high-water", type=int, default=10_000, metavar="N",
+        help="queue depth at which backpressure engages (default %(default)s)")
+    parser.add_argument(
+        "--backpressure", choices=("reject", "await"), default="reject",
+        help="policy while backpressure is engaged: refuse submissions or "
+             "make awaiting submitters wait (default %(default)s)")
+    parser.add_argument(
+        "--profile-engine", choices=PROFILE_ENGINES,
+        default=DEFAULT_PROFILE_ENGINE, metavar="{auto,array,list}",
+        help="availability-profile engine of every cluster "
+             "(default %(default)s)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -295,6 +357,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--root", default=".", metavar="DIR",
         help="directory holding the BENCH_*.json reports (default: "
              "the current directory)")
+
+    serve = commands.add_parser(
+        "serve", help="run the online metascheduler service",
+        description="Run the long-running metascheduler service: an asyncio "
+                    "admission loop over the batch-simulation stack, exposed "
+                    "over HTTP (submit / status / cancel / health / stats). "
+                    "SIGINT or SIGTERM drains the admission queue and exits.")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default %(default)s)")
+    serve.add_argument("--port", type=int, default=0, metavar="N",
+                       help="listen port (default: ephemeral, printed at "
+                            "startup)")
+    _add_service_options(serve)
+
+    bombard_parser = commands.add_parser(
+        "bombard", help="open-loop load generation against a service",
+        description="Bombard a metascheduler service with an open-loop "
+                    "arrival stream (synthetic or SWF replay), wait for the "
+                    "admission queue to drain, and report offered/sustained "
+                    "throughput plus submit-latency percentiles. Targets a "
+                    "running `repro serve` via --port, or self-hosts a "
+                    "service in process when no port is given. Exits "
+                    "non-zero when the service did not drain.")
+    bombard_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="service address (default %(default)s)")
+    bombard_parser.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="service port; omit to self-host a service in process")
+    bombard_parser.add_argument(
+        "--jobs", type=int, default=10_000, metavar="N",
+        help="submissions to inject (default %(default)s)")
+    bombard_parser.add_argument(
+        "--rate", type=float, default=20_000.0, metavar="R",
+        help="open-loop arrival rate in jobs/s (default %(default)s)")
+    bombard_parser.add_argument(
+        "--source", default="synthetic", metavar="synthetic|SWF",
+        help="job source: 'synthetic' or the path of an SWF log to replay "
+             "(default %(default)s)")
+    bombard_parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="seed of the synthetic source (default %(default)s)")
+    bombard_parser.add_argument(
+        "--max-procs", type=int, default=64, metavar="N",
+        help="processor requests are capped at N (default %(default)s)")
+    bombard_parser.add_argument(
+        "--batch", type=int, default=128, metavar="N",
+        help="jobs per HTTP batch submit (default %(default)s)")
+    bombard_parser.add_argument(
+        "--connections", type=int, default=1, metavar="N",
+        help="keep-alive HTTP connections (default %(default)s)")
+    bombard_parser.add_argument(
+        "--drain-timeout", type=float, default=60.0, metavar="S",
+        help="seconds to wait for the admission queue to drain after the "
+             "last submission (default %(default)s)")
+    bombard_parser.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="emit the report as a JSON document")
+    _add_service_options(bombard_parser)
     return parser
 
 
@@ -669,6 +790,115 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace) -> MetaSchedulerService:
+    platform = _SERVICE_PLATFORMS[args.platform](args.heterogeneous)
+    config = ServiceConfig(
+        heartbeat=args.heartbeat,
+        admission_batch=args.admission_batch,
+        max_queue=args.max_queue,
+        high_water=min(args.high_water, args.max_queue),
+        backpressure=args.backpressure,
+    )
+    return MetaSchedulerService(
+        platform,
+        batch_policy=args.policy,
+        mapping_policy=args.mapping,
+        clock=args.clock,
+        clock_rate=args.clock_rate,
+        config=config,
+        profile_engine=args.profile_engine,
+    )
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    handled = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            handled.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # e.g. non-main thread / platforms without signal support
+    try:
+        async with service:
+            async with ServiceHTTP(service, args.host, args.port) as http:
+                print(
+                    f"serve: {service.platform.name} "
+                    f"({len(service.servers)} clusters, "
+                    f"{args.policy}/{args.mapping}, clock={args.clock}) "
+                    f"listening on http://{http.host}:{http.port}",
+                    flush=True,
+                )
+                await stop.wait()
+                print("serve: draining admission queue", flush=True)
+            # __aexit__ of the service awaits the drain.
+    finally:
+        for signum in handled:
+            loop.remove_signal_handler(signum)
+    print(
+        f"serve: stopped; {service.accepted} accepted, "
+        f"{service.admitted} admitted, {service.completed} completed, "
+        f"{service.in_flight} still in flight"
+    )
+    return 0
+
+
+async def _bombard_async(args: argparse.Namespace) -> int:
+    if args.source == "synthetic":
+        specs = synthetic_specs(seed=args.seed, max_procs=args.max_procs)
+    else:
+        if not os.path.exists(args.source):
+            raise SystemExit(
+                f"repro: error: --source must be 'synthetic' or the path "
+                f"of an SWF log; {args.source!r} does not exist"
+            )
+        specs = swf_specs(args.source, max_procs=args.max_procs)
+    service: Optional[MetaSchedulerService] = None
+    if args.port is None:
+        # Self-hosted: run the service (and its HTTP listener) in this
+        # process and bombard it over the loopback.
+        service = _build_service(args)
+    try:
+        if service is not None:
+            async with service:
+                async with ServiceHTTP(service, "127.0.0.1", 0) as http:
+                    async with HTTPServiceClient(http.host, http.port) as client:
+                        report = await bombard(
+                            client, jobs=args.jobs, rate=args.rate,
+                            specs=specs, batch=args.batch,
+                            connections=args.connections,
+                            drain_timeout=args.drain_timeout,
+                        )
+        else:
+            async with HTTPServiceClient(args.host, args.port) as client:
+                report = await bombard(
+                    client, jobs=args.jobs, rate=args.rate,
+                    specs=specs, batch=args.batch,
+                    connections=args.connections,
+                    drain_timeout=args.drain_timeout,
+                )
+    except ConnectionError as exc:
+        raise SystemExit(
+            f"repro: error: cannot reach the service at "
+            f"{args.host}:{args.port}: {exc}"
+        )
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.drained and report.accepted > 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    return asyncio.run(_serve_async(args))
+
+
+def _cmd_bombard(args: argparse.Namespace) -> int:
+    return asyncio.run(_bombard_async(args))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -692,6 +922,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_summary(args)
         if args.command == "bench":
             return _cmd_bench_check(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "bombard":
+            return _cmd_bombard(args)
     except BrokenPipeError:
         # stdout was closed early (e.g. piped into `head`): exit quietly,
         # pointing the dangling descriptor at devnull so interpreter

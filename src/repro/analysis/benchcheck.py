@@ -18,19 +18,26 @@ The walk understands the conventions the reports already use:
   informational, with the 3× floor only asserted at 10⁶ events;
 * ``"online": true`` marks a variant whose speedup is reported for
   context but not floor-checked (the heuristics report's MCT entry);
-* the speedup keys are ``speedup`` and ``drain_speedup``.
+* the speedup keys are ``speedup`` and ``drain_speedup``;
+* absolute throughputs follow the same shape: a ``jobs_per_s`` value is
+  governed by the nearest ``min_jobs_per_s`` floor (the service report
+  asserts a sustained admission rate, not a relative speedup).
 """
 
 from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, List, Mapping, Optional
 
 #: Keys whose numeric value is a measured speedup.
 SPEEDUP_KEYS = ("speedup", "drain_speedup")
+
+#: Keys whose numeric value is an absolute throughput (jobs per second),
+#: governed by the nearest ``min_jobs_per_s`` floor.
+THROUGHPUT_KEYS = ("jobs_per_s",)
 
 #: Glob matching the committed benchmark reports.
 BENCH_GLOB = "BENCH_*.json"
@@ -38,7 +45,7 @@ BENCH_GLOB = "BENCH_*.json"
 
 @dataclass(frozen=True, slots=True)
 class SpeedupCheck:
-    """One measured speedup paired with the floor that governs it."""
+    """One measured value (speedup or throughput) and its governing floor."""
 
     report: str
     label: str
@@ -46,6 +53,8 @@ class SpeedupCheck:
     floor: Optional[float]
     enforced: bool
     reason: str = ""
+    #: render unit: ``"x"`` for relative speedups, ``"/s"`` for throughputs
+    unit: str = field(default="x")
 
     @property
     def ok(self) -> bool:
@@ -64,9 +73,9 @@ class SpeedupCheck:
 
 
 def iter_checks(report: str, data: Mapping[str, Any]) -> Iterator[SpeedupCheck]:
-    """Yield every speedup entry of one report document, depth-first."""
-    yield from _walk(report, data, path="", floor=None, scale=None,
-                     enforced=True, reason="")
+    """Yield every speedup/throughput entry of one report, depth-first."""
+    yield from _walk(report, data, path="", floor=None, rate_floor=None,
+                     scale=None, enforced=True, reason="")
 
 
 def _walk(
@@ -74,26 +83,32 @@ def _walk(
     node: Mapping[str, Any],
     path: str,
     floor: Optional[float],
+    rate_floor: Optional[float],
     scale: Optional[float],
     enforced: bool,
     reason: str,
 ) -> Iterator[SpeedupCheck]:
     local_floor = node.get("min_speedup", floor)
+    local_rate_floor = node.get("min_jobs_per_s", rate_floor)
     local_scale = node.get("speedup_floor_scale", scale)
     if node.get("online") is True:
         enforced, reason = False, "online variant"
     for key in sorted(node):
         value = node[key]
         label = f"{path}.{key}" if path else key
-        if key in SPEEDUP_KEYS and isinstance(value, (int, float)):
+        if isinstance(value, (int, float)) and not isinstance(value, bool) and (
+            key in SPEEDUP_KEYS or key in THROUGHPUT_KEYS
+        ):
+            governing = local_floor if key in SPEEDUP_KEYS else local_rate_floor
             yield SpeedupCheck(
                 report=report,
                 label=label,
                 speedup=float(value),
-                floor=None if local_floor is None else float(local_floor),
-                enforced=enforced and local_floor is not None,
+                floor=None if governing is None else float(governing),
+                enforced=enforced and governing is not None,
                 reason=reason if not enforced else
-                ("no floor" if local_floor is None else ""),
+                ("no floor" if governing is None else ""),
+                unit="x" if key in SPEEDUP_KEYS else "/s",
             )
         elif isinstance(value, Mapping):
             child_enforced, child_reason = enforced, reason
@@ -105,7 +120,8 @@ def _walk(
             ):
                 child_enforced = False
                 child_reason = f"below floor scale {local_scale:g}"
-            yield from _walk(report, value, label, local_floor, local_scale,
+            yield from _walk(report, value, label, local_floor,
+                             local_rate_floor, local_scale,
                              child_enforced, child_reason)
 
 
@@ -141,9 +157,10 @@ def render_checks(checks: List[SpeedupCheck]) -> str:
     lines = []
     width = max((len(f"{c.report}:{c.label}") for c in checks), default=0)
     for check in checks:
-        floor = "-" if check.floor is None else f"{check.floor:g}x"
+        floor = "-" if check.floor is None else f"{check.floor:g}{check.unit}"
         speedup = (
-            "inf" if math.isinf(check.speedup) else f"{check.speedup:g}x"
+            "inf" if math.isinf(check.speedup)
+            else f"{check.speedup:g}{check.unit}"
         )
         lines.append(
             f"{check.report + ':' + check.label:<{width}}  "
@@ -152,7 +169,7 @@ def render_checks(checks: List[SpeedupCheck]) -> str:
     enforced = [c for c in checks if c.enforced and c.floor is not None]
     failed = [c for c in enforced if not c.ok]
     lines.append(
-        f"bench check: {len(checks)} speedups, {len(enforced)} enforced, "
+        f"bench check: {len(checks)} values, {len(enforced)} enforced, "
         f"{len(failed)} regression(s)"
     )
     return "\n".join(lines)

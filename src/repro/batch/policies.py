@@ -182,7 +182,9 @@ class IncrementalPlanner:
       returned at an unpredicted time, which can improve every placement.
     """
 
-    __slots__ = ("policy", "keep_queue_order", "cluster", "speed", "jobs", "plan")
+    __slots__ = (
+        "policy", "keep_queue_order", "cluster", "speed", "jobs", "waiting_ids", "plan"
+    )
 
     def __init__(self, policy: BatchPolicy, cluster: ClusterState) -> None:
         self.policy = policy
@@ -190,6 +192,9 @@ class IncrementalPlanner:
         self.cluster = cluster
         self.speed = cluster.speed
         self.jobs: List[Job] = []
+        #: ids of the jobs in :attr:`jobs` — O(1) membership for the
+        #: duplicate-submission check on the service admission hot path.
+        self.waiting_ids: set = set()
         self.plan = IncrementalPlan(cluster.name, cluster.availability(0.0), 0.0)
 
     # ------------------------------------------------------------------ #
@@ -208,8 +213,14 @@ class IncrementalPlanner:
         """FCFS frontier: earliest start allowed for a job appended now."""
         return self.plan.frontier()
 
+    def contains(self, job_id: int) -> bool:
+        """Whether ``job_id`` is waiting here (O(1))."""
+        return job_id in self.waiting_ids
+
     def index_of(self, job_id: int) -> int:
         """Queue position of ``job_id`` or -1 when it is not waiting here."""
+        if job_id not in self.waiting_ids:
+            return -1
         for index, job in enumerate(self.jobs):
             if job.job_id == job_id:
                 return index
@@ -284,11 +295,13 @@ class IncrementalPlanner:
         """Append ``job`` to the queue and place it at the tail."""
         self.advance(now)
         self.jobs.append(job)
+        self.waiting_ids.add(job.job_id)
         self._extend(len(self.jobs) - 1)
 
     def cancel(self, index: int, now: float) -> None:
         """Remove the job at queue position ``index``; replan the suffix."""
         self.advance(now)
+        self.waiting_ids.discard(self.jobs[index].job_id)
         del self.jobs[index]
         self.plan.restore_suffix(index)
         self._extend(index)
@@ -308,6 +321,7 @@ class IncrementalPlanner:
             raise ValueError(f"job {job.job_id} is not planned on {self.cluster.name}")
         entry = self.plan.entries[index]
         del self.jobs[index]
+        self.waiting_ids.discard(job.job_id)
         if entry.planned_start == now and entry.planned_end == now + job.walltime_on(self.speed):
             self.plan.remove_started(index)
         else:  # pragma: no cover - defensive, violates the invariant
@@ -338,6 +352,7 @@ class IncrementalPlanner:
         """
         if jobs:
             self.jobs[:0] = jobs
+            self.waiting_ids.update(job.job_id for job in jobs)
         self.replan_all(now)
 
     def replan_all(self, now: float) -> None:

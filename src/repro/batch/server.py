@@ -197,7 +197,7 @@ class BatchServer:
 
     def has_waiting(self, job: Job) -> bool:
         """True if the job is currently waiting in this server's queue."""
-        return self._planner.index_of(job.job_id) >= 0
+        return self._planner.contains(job.job_id)
 
     def fits(self, job: Job) -> bool:
         """True if the job's processor request fits the cluster's nominal size.
@@ -222,6 +222,29 @@ class BatchServer:
     # ------------------------------------------------------------------ #
     def submit(self, job: Job) -> None:
         """Append a job to the waiting queue and try to start jobs."""
+        self._enqueue(job)
+        self._schedule_pass()
+
+    def submit_many(self, jobs: Sequence[Job]) -> None:
+        """Append a batch of jobs, then run **one** scheduling pass.
+
+        Semantically this is ``for job in jobs: submit(job)`` — tail
+        appends cannot change the planned start of an earlier append, and
+        a job started between two appends occupies exactly the processors
+        its reservation held — but the per-submission scheduling pass
+        (an O(queue) scan for startable entries) is paid once per batch
+        instead of once per job.  This is what makes deep-queue batched
+        admission in the service shell O(batch + queue) rather than
+        O(batch x queue).
+        """
+        if not jobs:
+            return
+        for job in jobs:
+            self._enqueue(job)
+        self._schedule_pass()
+
+    def _enqueue(self, job: Job) -> None:
+        """Validate and append one job to the waiting queue (no pass)."""
         if not self.cluster.fits(job):
             raise BatchServerError(
                 f"job {job.job_id} needs {job.procs} procs but cluster "
@@ -234,7 +257,6 @@ class BatchServer:
         job.local_submit_time = self.kernel.now
         self._planner.submit(job, self.kernel.now)
         self.submitted_count += 1
-        self._schedule_pass()
 
     def cancel(self, job: Job) -> None:
         """Remove a *waiting* job from the queue.

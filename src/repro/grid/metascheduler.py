@@ -63,15 +63,28 @@ class MetaScheduler:
         policy: "MappingPolicy | str" = MappingPolicy.MCT,
         rng: Optional[np.random.Generator] = None,
         on_reject: Optional[Callable[[Job], None]] = None,
+        mapping_retention: Optional[int] = None,
     ) -> None:
         if not servers:
             raise ValueError("MetaScheduler needs at least one batch server")
         self.servers: List[BatchServer] = list(servers)
+        self._servers_by_name: Dict[str, BatchServer] = {
+            server.name: server for server in self.servers
+        }
+        if len(self._servers_by_name) != len(self.servers):
+            raise ValueError("MetaScheduler servers must have unique cluster names")
         if isinstance(policy, str):
             policy = MappingPolicy(policy.lower())
         self.policy = policy
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.on_reject = on_reject
+        if mapping_retention is not None and mapping_retention < 0:
+            raise ValueError(f"mapping_retention must be >= 0, got {mapping_retention}")
+        #: when set, :attr:`initial_mapping` is capped at this many entries
+        #: (oldest submissions evicted first) — the long-running service
+        #: shell sets it so the dict stops growing without bound; batch
+        #: simulations leave it ``None`` and keep every entry.
+        self.mapping_retention = mapping_retention
         self._round_robin_index = 0
         #: job id -> name of the cluster chosen at submission time
         self.initial_mapping: Dict[int, str] = {}
@@ -83,10 +96,10 @@ class MetaScheduler:
     # ------------------------------------------------------------------ #
     def server_by_name(self, name: str) -> BatchServer:
         """Batch server with the given cluster name."""
-        for server in self.servers:
-            if server.name == name:
-                return server
-        raise KeyError(f"no server named {name!r}")
+        try:
+            return self._servers_by_name[name]
+        except KeyError:
+            raise KeyError(f"no server named {name!r}") from None
 
     def eligible_servers(self, job: Job) -> List[BatchServer]:
         """Servers whose cluster is nominally large enough for the job."""
@@ -112,15 +125,120 @@ class MetaScheduler:
         """Map and submit a job; returns the chosen server (or ``None`` if rejected)."""
         server = self._choose(job)
         if server is None:
-            job.state = JobState.REJECTED
-            self.rejected_count += 1
-            if self.on_reject is not None:
-                self.on_reject(job)
+            self._reject(job)
             return None
         server.submit(job)
+        self._record_mapping(job, server)
+        return server
+
+    def submit_many(self, jobs: Sequence[Job]) -> List[Optional[BatchServer]]:
+        """Map and submit a batch of jobs; one chosen server (or ``None``) per job.
+
+        This is the admission hot path of the long-running service shell:
+        instead of querying every server once per job (the scalar
+        :meth:`submit` path pays a per-call plan refresh on every ECT
+        query), the MCT policy snapshots the full ECT matrix in **one
+        bulk** :meth:`~repro.batch.server.BatchServer.estimate_completion_many`
+        **call per server**, then assigns jobs in order against the
+        snapshot.  After each assignment the chosen server's remaining
+        column is bumped by the reservation's expected queue-delay
+        contribution (``procs x walltime / capacity``, in server seconds),
+        so a burst of arrivals spreads over equivalent clusters instead of
+        herding onto whichever momentarily reported the best ECT.
+
+        Within a batch the estimates are *snapshots*: they reflect the
+        state at the start of the admission pass plus the load-feedback
+        term, not a fresh query after every placement.  A batch of one is
+        therefore exactly the scalar path, and non-MCT policies (whose
+        choices are O(1) per job) simply loop over :meth:`submit`.
+        """
+        if len(jobs) <= 1 or self.policy is not MappingPolicy.MCT:
+            return [self.submit(job) for job in jobs]
+        servers = self.servers
+        ects = np.array(
+            [server.estimate_completion_many(jobs) for server in servers],
+            dtype=np.float64,
+        )
+        procs = np.array([job.procs for job in jobs], dtype=np.int64)
+        totals = np.array([server.total_procs for server in servers], dtype=np.int64)
+        capacities = np.array([server.capacity for server in servers], dtype=np.int64)
+        eligible = procs[None, :] <= totals[:, None]
+        available = procs[None, :] <= capacities[:, None]
+        # Load-feedback increment of one assigned job on its server: the
+        # reservation's area divided by the cluster's current capacity —
+        # the expected delay it adds to a later tail placement there.
+        speeds = np.array([server.speed for server in servers], dtype=np.float64)
+        feedback = np.array(
+            [[job.procs * job.walltime_on(speed) for job in jobs] for speed in speeds],
+            dtype=np.float64,
+        ) / np.maximum(capacities, 1)[:, None]
+        chosen: List[Optional[BatchServer]] = []
+        assigned: List[List[Job]] = [[] for _ in servers]
+        queued = np.array([server.queue_length for server in servers], dtype=np.int64)
+        for i, job in enumerate(jobs):
+            if not eligible[:, i].any():
+                self._reject(job)
+                chosen.append(None)
+                continue
+            # Failure-aware pool, as in the scalar path: prefer clusters
+            # that are up right now, fall back to the nominal set when
+            # every eligible cluster is down.
+            pool = available[:, i] & eligible[:, i]
+            if not pool.any():
+                pool = eligible[:, i]
+            column = np.where(pool, ects[:, i], math.inf)
+            best = int(np.argmin(column))
+            if not math.isfinite(column[best]):
+                # Every estimate infinite: fall back to the least-loaded
+                # cluster of the pool (matches the scalar path), counting
+                # this batch's earlier placements as queued load.
+                best = min(
+                    (k for k in range(len(servers)) if pool[k]),
+                    key=lambda k: queued[k],
+                )
+            server = servers[best]
+            assigned[best].append(job)
+            queued[best] += 1
+            self._record_mapping(job, server)
+            if i + 1 < len(jobs):
+                ects[best, i + 1:] += feedback[best, i]
+            chosen.append(server)
+        # Hand each server its share in one call: the per-submission
+        # scheduling pass is O(queue), so batching it matters as much as
+        # batching the estimates.
+        for server, share in zip(servers, assigned):
+            server.submit_many(share)
+        return chosen
+
+    def forget_mappings(self, job_ids: "Sequence[int] | int") -> None:
+        """Drop :attr:`initial_mapping` entries for the given job ids.
+
+        The long-running service calls this when completed jobs are
+        retired from its registry, so the mapping dict tracks the live
+        population instead of the full submission history.  Unknown ids
+        are ignored.
+        """
+        if isinstance(job_ids, int):
+            job_ids = (job_ids,)
+        for job_id in job_ids:
+            self.initial_mapping.pop(job_id, None)
+
+    def _record_mapping(self, job: Job, server: BatchServer) -> None:
         self.initial_mapping[job.job_id] = server.name
         self.submitted_count += 1
-        return server
+        retention = self.mapping_retention
+        if retention is not None and len(self.initial_mapping) > retention:
+            # Dicts iterate in insertion order, so the oldest submissions
+            # are evicted first.
+            excess = len(self.initial_mapping) - retention
+            for job_id in list(self.initial_mapping)[:excess]:
+                del self.initial_mapping[job_id]
+
+    def _reject(self, job: Job) -> None:
+        job.state = JobState.REJECTED
+        self.rejected_count += 1
+        if self.on_reject is not None:
+            self.on_reject(job)
 
     def _choose(self, job: Job) -> Optional[BatchServer]:
         eligible = self.eligible_servers(job)

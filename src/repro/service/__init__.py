@@ -1,0 +1,52 @@
+"""The online metascheduler service shell.
+
+Everything below :mod:`repro.service` turns the batch-simulation stack
+into a *long-running* grid metascheduler: an asyncio admission pipeline
+(:class:`MetaSchedulerService`) drains a bounded submit queue in batches
+per scheduler heartbeat, maps each batch through the bulk ECT path of the
+meta-scheduler, and applies explicit backpressure once the queue passes a
+high-water mark.  A :class:`Clock` abstraction makes the simulation
+kernel swappable for wall-clock time, an in-process
+:class:`ServiceClient` and a dependency-light asyncio HTTP listener
+(:class:`ServiceHTTP`) expose submit / status / cancel / health, and
+:mod:`repro.service.loadgen` provides the ``repro bombard`` open-loop
+load generator.
+"""
+
+from repro.service.clock import Clock, RealTimeClock, VirtualClock, make_clock
+from repro.service.client import ServiceClient
+from repro.service.http import HTTPServiceClient, ServiceHTTP
+from repro.service.loadgen import (
+    BombardReport,
+    bombard,
+    latency_summary,
+    swf_specs,
+    synthetic_specs,
+)
+from repro.service.service import (
+    BackpressurePolicy,
+    MetaSchedulerService,
+    ServiceConfig,
+    SubmitRejected,
+    TicketState,
+)
+
+__all__ = [
+    "BackpressurePolicy",
+    "BombardReport",
+    "Clock",
+    "HTTPServiceClient",
+    "MetaSchedulerService",
+    "RealTimeClock",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHTTP",
+    "SubmitRejected",
+    "TicketState",
+    "VirtualClock",
+    "bombard",
+    "latency_summary",
+    "make_clock",
+    "swf_specs",
+    "synthetic_specs",
+]

@@ -1,0 +1,131 @@
+"""Clock abstraction of the service shell.
+
+The batch layer schedules every job start, completion and capacity
+transition on a :class:`~repro.sim.kernel.SimulationKernel`.  Inside a
+closed batch simulation the kernel *is* the clock: events fire as fast as
+the CPU allows and simulated time jumps from event to event.  A
+long-running service needs the opposite contract — time advances on its
+own and the kernel must follow — without giving up the option of running
+the whole service at simulated speed (for benchmarks, CI smokes and
+deterministic tests).
+
+:class:`Clock` captures the contract the service loop needs:
+
+* :meth:`Clock.now` — current service time, in seconds since the service
+  epoch;
+* :meth:`Clock.tick` — wait (cooperatively) for one heartbeat and bring
+  the kernel up to date, firing every event that became due.
+
+:class:`VirtualClock` implements it by *driving* the kernel: a tick runs
+``kernel.run(until=now + heartbeat)`` synchronously and then yields to
+the asyncio loop, so a service under virtual time processes load as fast
+as the hardware allows while every batch-layer event still fires in
+exact simulated order.  :class:`RealTimeClock` implements it by
+*following* wall-clock time: a tick sleeps on the asyncio loop and then
+advances the kernel to the wall-derived service time (optionally scaled
+by ``rate`` simulated seconds per wall second, which makes "real" mode
+testable without real hours).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+from repro.sim.kernel import SimulationKernel
+
+#: Registered clock modes of the service shell (the ``--clock`` choices).
+CLOCK_MODES = ("virtual", "real")
+
+
+class Clock:
+    """Time source driving the service loop (see module docstring)."""
+
+    #: mode string the clock was built from (``"virtual"`` / ``"real"``)
+    mode: str = "abstract"
+
+    def __init__(self, kernel: SimulationKernel) -> None:
+        self.kernel = kernel
+
+    def now(self) -> float:
+        """Current service time, in seconds since the service epoch."""
+        raise NotImplementedError
+
+    async def tick(self, heartbeat: float) -> None:
+        """Wait one heartbeat and fire every kernel event that became due."""
+        raise NotImplementedError
+
+
+class VirtualClock(Clock):
+    """Simulated time: the service loop drives the kernel forward.
+
+    ``now`` is the kernel's simulated clock and each tick advances it by
+    exactly one heartbeat (running due events), then yields control so
+    producers enqueue between heartbeats.  Wall-clock plays no role:
+    a million simulated seconds cost whatever their events cost.
+    """
+
+    mode = "virtual"
+
+    def now(self) -> float:
+        return self.kernel.now
+
+    async def tick(self, heartbeat: float) -> None:
+        if heartbeat < 0:
+            raise ValueError(f"heartbeat must be >= 0, got {heartbeat}")
+        self.kernel.run(until=self.kernel.now + heartbeat)
+        # Yield to the event loop so submitters run between heartbeats.
+        await asyncio.sleep(0)
+
+
+class RealTimeClock(Clock):
+    """Wall-clock time: the kernel follows the monotonic clock.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel holding the scheduled batch-layer events.
+    rate:
+        Simulated seconds per wall-clock second (default 1.0).  A rate of
+        60 runs the service at a minute of simulated time per real
+        second — service semantics are unchanged, only the mapping of
+        heartbeats to wall sleeps.
+    time_source:
+        Monotonic time source (overridable in tests).
+    """
+
+    mode = "real"
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        rate: float = 1.0,
+        time_source: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__(kernel)
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self._time_source = time_source
+        self._epoch = time_source()
+
+    def now(self) -> float:
+        return (self._time_source() - self._epoch) * self.rate
+
+    async def tick(self, heartbeat: float) -> None:
+        if heartbeat < 0:
+            raise ValueError(f"heartbeat must be >= 0, got {heartbeat}")
+        await asyncio.sleep(heartbeat / self.rate)
+        target = self.now()
+        if target > self.kernel.now:
+            self.kernel.run(until=target)
+
+
+def make_clock(mode: str, kernel: SimulationKernel, rate: float = 1.0) -> Clock:
+    """Build the clock for a ``--clock`` mode string."""
+    if mode == "virtual":
+        return VirtualClock(kernel)
+    if mode == "real":
+        return RealTimeClock(kernel, rate=rate)
+    raise ValueError(f"unknown clock mode {mode!r}; expected one of {CLOCK_MODES}")

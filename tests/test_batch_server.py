@@ -331,3 +331,46 @@ class TestCompletionCallback:
         starts = [job.start_time for job in jobs]
         assert starts == sorted(starts)
         assert starts == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+
+class TestSubmitMany:
+    """``submit_many`` pays one schedule pass per batch; the resulting
+    plan must be indistinguishable from per-job submission."""
+
+    @pytest.mark.parametrize("policy", ["fcfs", "cbf"])
+    def test_matches_sequential_submits(self, kernel, policy):
+        import random
+
+        rng = random.Random(20100612)
+        specs = [
+            (i, rng.randint(1, 4), 10.0 * rng.randint(1, 20))
+            for i in range(1, 41)
+        ]
+        batch = make_server(kernel, "batch", procs=4, policy=policy)
+        serial = make_server(kernel, "serial", procs=4, policy=policy)
+        batched = [make_job(i, procs=p, runtime=r, walltime=r) for i, p, r in specs]
+        batch.submit_many(batched)
+        sequential = [make_job(i, procs=p, runtime=r, walltime=r) for i, p, r in specs]
+        for job in sequential:
+            serial.submit(job)
+        probe = make_job(9999, procs=1, runtime=1.0, walltime=1.0)
+        assert batch.estimate_completion(probe) == serial.estimate_completion(probe)
+        kernel.run()
+        assert batch.completed_count == serial.completed_count == 40
+        for job_a, job_b in zip(batched, sequential):
+            assert job_a.start_time == job_b.start_time
+            assert job_a.completion_time == job_b.completion_time
+
+    def test_batch_validation_per_job(self, kernel):
+        server = make_server(kernel, procs=4)
+        good = make_job(1, procs=2, runtime=10.0)
+        with pytest.raises(BatchServerError):
+            server.submit_many([good, make_job(2, procs=100, runtime=10.0)])
+        # The job enqueued before the failing one is already accepted.
+        assert server.has_waiting(good) or server.cluster.is_running(1)
+        assert server.submitted_count == 1
+
+    def test_empty_batch_is_a_no_op(self, kernel):
+        server = make_server(kernel, procs=4)
+        server.submit_many([])
+        assert server.submitted_count == 0

@@ -153,3 +153,99 @@ class TestConstruction:
         assert scheduler.server_by_name("beta").name == "beta"
         with pytest.raises(KeyError):
             scheduler.server_by_name("nope")
+
+
+class TestSubmitMany:
+    def test_batch_of_one_matches_scalar(self, kernel):
+        batch_servers = build_servers(kernel)
+        batch_scheduler = MetaScheduler(batch_servers)
+        serial_servers = build_servers(kernel)
+        serial_scheduler = MetaScheduler(serial_servers)
+        job_a = make_job(1, procs=4, runtime=100.0, walltime=100.0)
+        job_b = make_job(1, procs=4, runtime=100.0, walltime=100.0)
+        [batch_chosen] = batch_scheduler.submit_many([job_a])
+        serial_chosen = serial_scheduler.submit(job_b)
+        assert batch_chosen.name == serial_chosen.name
+        # An empty cluster starts the job in the same submit pass.
+        assert job_a.state is job_b.state
+
+    def test_non_mct_policies_defer_to_scalar_path(self, kernel):
+        servers = build_servers(kernel, sizes=(8, 8))
+        scheduler = MetaScheduler(servers, policy=MappingPolicy.ROUND_ROBIN)
+        jobs = [make_job(i, procs=1) for i in range(1, 5)]
+        chosen = scheduler.submit_many(jobs)
+        assert [server.name for server in chosen] == ["alpha", "beta"] * 2
+
+    def test_burst_spreads_over_equivalent_clusters(self, kernel):
+        # Two identical empty clusters: without load feedback every job of
+        # the burst would herd onto the first (snapshot argmin); with it
+        # the batch spreads over both.
+        servers = build_servers(kernel, sizes=(8, 8))
+        scheduler = MetaScheduler(servers)
+        jobs = [make_job(i, procs=4, runtime=100.0, walltime=100.0)
+                for i in range(1, 9)]
+        chosen = scheduler.submit_many(jobs)
+        names = {server.name for server in chosen}
+        assert names == {"alpha", "beta"}
+
+    def test_unmappable_jobs_rejected_in_batch(self, kernel):
+        servers = build_servers(kernel, sizes=(4, 8))
+        rejected = []
+        scheduler = MetaScheduler(servers, on_reject=rejected.append)
+        jobs = [
+            make_job(1, procs=2),
+            make_job(2, procs=100),  # fits nowhere
+            make_job(3, procs=2),
+        ]
+        chosen = scheduler.submit_many(jobs)
+        assert chosen[0] is not None and chosen[2] is not None
+        assert chosen[1] is None
+        assert jobs[1].state is JobState.REJECTED
+        assert [job.job_id for job in rejected] == [2]
+        assert scheduler.rejected_count == 1
+        assert scheduler.submitted_count == 2
+
+    def test_batch_matches_server_queues(self, kernel):
+        servers = build_servers(kernel)
+        scheduler = MetaScheduler(servers)
+        jobs = [make_job(i, procs=1) for i in range(1, 33)]
+        chosen = scheduler.submit_many(jobs)
+        for job, server in zip(jobs, chosen):
+            assert server.has_waiting(job) or server.cluster.is_running(job.job_id)
+            assert scheduler.initial_mapping[job.job_id] == server.name
+
+
+class TestMappingRetention:
+    def test_unbounded_by_default(self, kernel):
+        scheduler = MetaScheduler(build_servers(kernel, sizes=(64, 64)))
+        for i in range(1, 101):
+            scheduler.submit(make_job(i, procs=1))
+        assert len(scheduler.initial_mapping) == 100
+
+    def test_retention_caps_mapping_and_evicts_oldest(self, kernel):
+        scheduler = MetaScheduler(
+            build_servers(kernel, sizes=(64, 64)), mapping_retention=10
+        )
+        for i in range(1, 101):
+            scheduler.submit(make_job(i, procs=1))
+        assert len(scheduler.initial_mapping) == 10
+        assert sorted(scheduler.initial_mapping) == list(range(91, 101))
+
+    def test_negative_retention_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            MetaScheduler(build_servers(kernel), mapping_retention=-1)
+
+    def test_forget_mappings(self, kernel):
+        scheduler = MetaScheduler(build_servers(kernel, sizes=(64, 64)))
+        for i in range(1, 6):
+            scheduler.submit(make_job(i, procs=1))
+        scheduler.forget_mappings(3)
+        scheduler.forget_mappings([1, 2, 999])  # unknown ids are ignored
+        assert sorted(scheduler.initial_mapping) == [4, 5]
+
+
+class TestUniqueNames:
+    def test_duplicate_cluster_names_rejected(self, kernel):
+        servers = [make_server(kernel, "alpha"), make_server(kernel, "alpha")]
+        with pytest.raises(ValueError):
+            MetaScheduler(servers)

@@ -1,0 +1,397 @@
+"""Tests for the long-running metascheduler service shell."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.platform.spec import ClusterSpec, PlatformSpec
+from repro.platform.timeline import AvailabilityTimeline
+from repro.service import (
+    BackpressurePolicy,
+    MetaSchedulerService,
+    ServiceClient,
+    ServiceConfig,
+    SubmitRejected,
+    TicketState,
+    VirtualClock,
+    RealTimeClock,
+    make_clock,
+)
+from repro.sim.kernel import SimulationKernel
+
+
+def two_clusters() -> PlatformSpec:
+    return PlatformSpec(
+        "svc-test",
+        (ClusterSpec("alpha", 4, 1.0), ClusterSpec("beta", 8, 1.0)),
+    )
+
+
+def down_clusters() -> PlatformSpec:
+    """Both clusters in an outage covering the start of time."""
+    return PlatformSpec(
+        "svc-down",
+        (
+            ClusterSpec("alpha", 4, 1.0,
+                        AvailabilityTimeline().with_outage(0.0, 1000.0)),
+            ClusterSpec("beta", 8, 1.0,
+                        AvailabilityTimeline().with_outage(0.0, 1000.0)),
+        ),
+    )
+
+
+def make_service(platform=None, **config) -> MetaSchedulerService:
+    return MetaSchedulerService(
+        platform if platform is not None else two_clusters(),
+        config=ServiceConfig(**config) if config else None,
+    )
+
+
+class TestLifecycle:
+    def test_offer_admit_complete(self):
+        async def run():
+            service = make_service()
+            async with service:
+                client = ServiceClient(service)
+                ticket = client.offer(procs=2, runtime=50.0)
+                assert ticket.state is TicketState.QUEUED
+                assert service.queue_depth == 1
+                await client.drain()
+                assert ticket.admitted
+                assert ticket.state is TicketState.RUNNING
+                assert ticket.admit_latency_s >= 0.0
+            service.run_until_idle()
+            assert ticket.state is TicketState.COMPLETED
+            assert service.completed == 1
+            assert service.in_flight == 0
+            return service
+
+        service = asyncio.run(run())
+        assert service.accepted == service.admitted == 1
+
+    def test_status_document(self):
+        async def run():
+            service = make_service()
+            async with service:
+                client = ServiceClient(service)
+                ticket = client.offer(procs=1, runtime=10.0, walltime=20.0)
+                document = client.status(ticket.job_id)
+                assert document["state"] == "queued"
+                assert document["cluster"] is None
+                await client.drain()
+                document = client.status(ticket.job_id)
+                assert document["state"] == "running"
+                assert document["cluster"] in ("alpha", "beta")
+                assert document["admit_latency_s"] >= 0.0
+                with pytest.raises(KeyError):
+                    client.status(999)
+
+        asyncio.run(run())
+
+    def test_clean_shutdown_with_jobs_in_flight(self):
+        async def run():
+            service = make_service()
+            async with service:
+                client = ServiceClient(service)
+                for _ in range(50):
+                    client.offer(procs=1, runtime=1000.0)
+            # __aexit__ drained the admission queue before stopping.
+            assert service.queue_depth == 0
+            assert service.admitted == 50
+            assert service.in_flight > 0
+            # The kernel still holds the in-flight completions; a
+            # supervisor can finish them after the loop stopped.
+            service.run_until_idle()
+            assert service.in_flight == 0
+            assert service.completed == 50
+
+        asyncio.run(run())
+
+    def test_shutdown_without_drain_cancels_queue(self):
+        async def run():
+            service = make_service()
+            service.start()
+            client = ServiceClient(service)
+            tickets = [client.offer(procs=1, runtime=10.0) for _ in range(5)]
+            report = await service.shutdown(drain=False)
+            assert report["queued_cancelled"] == 5
+            assert all(t.state is TicketState.CANCELLED for t in tickets)
+            assert service.queue_depth == 0
+
+        asyncio.run(run())
+
+    def test_offer_after_shutdown_rejected(self):
+        async def run():
+            service = make_service()
+            async with service:
+                pass
+            with pytest.raises(SubmitRejected) as exc_info:
+                service.offer(procs=1, runtime=10.0)
+            assert exc_info.value.reason == "closing"
+            assert service.rejected_closing == 1
+
+        asyncio.run(run())
+
+
+class TestCancel:
+    def test_cancel_queued_job(self):
+        async def run():
+            service = make_service()
+            async with service:
+                client = ServiceClient(service)
+                ticket = client.offer(procs=1, runtime=10.0)
+                document = client.cancel(ticket.job_id)
+                assert document["state"] == "cancelled"
+                assert service.queue_depth == 0
+                await client.drain()
+                assert service.admitted == 0
+
+        asyncio.run(run())
+
+    def test_cancel_waiting_job(self):
+        async def run():
+            # One 4-proc cluster: the second job cannot start while the
+            # first occupies it, so it stays WAITING and is cancellable.
+            platform = PlatformSpec("one", (ClusterSpec("alpha", 4, 1.0),))
+            service = make_service(platform)
+            async with service:
+                client = ServiceClient(service)
+                client.offer(procs=4, runtime=1000.0)
+                blocked = client.offer(procs=4, runtime=10.0)
+                await client.drain()
+                assert blocked.state is TicketState.WAITING
+                client.cancel(blocked.job_id)
+                assert blocked.state is TicketState.CANCELLED
+
+        asyncio.run(run())
+
+    def test_cancel_running_job_is_an_error(self):
+        async def run():
+            service = make_service()
+            async with service:
+                client = ServiceClient(service)
+                ticket = client.offer(procs=1, runtime=100.0)
+                await client.drain()
+                assert ticket.state is TicketState.RUNNING
+                with pytest.raises(ValueError, match="running"):
+                    client.cancel(ticket.job_id)
+            service.run_until_idle()
+            with pytest.raises(ValueError, match="completed"):
+                service.cancel(ticket.job_id)
+
+        asyncio.run(run())
+
+    def test_cancel_unknown_job(self):
+        async def run():
+            service = make_service()
+            async with service:
+                with pytest.raises(KeyError):
+                    service.cancel(12345)
+
+        asyncio.run(run())
+
+
+class TestAllClustersDown:
+    def test_submissions_queue_instead_of_rejecting(self):
+        async def run():
+            service = make_service(down_clusters())
+            async with service:
+                client = ServiceClient(service)
+                ticket = client.offer(procs=2, runtime=50.0)
+                await client.drain()
+                # Mapped onto a down cluster's queue, not rejected: the
+                # failure-aware MCT pool falls back to the nominal set.
+                assert ticket.state is TicketState.WAITING
+                assert service.rejected_unmappable == 0
+                assert ticket.job.cluster in ("alpha", "beta")
+            # Recovery at t=1000 starts the stranded job.
+            service.run_until_idle()
+            assert ticket.state is TicketState.COMPLETED
+
+        asyncio.run(run())
+
+    def test_oversized_job_still_rejected(self):
+        async def run():
+            service = make_service(down_clusters())
+            async with service:
+                client = ServiceClient(service)
+                ticket = client.offer(procs=100, runtime=50.0)
+                await client.drain()
+                assert ticket.state is TicketState.REJECTED
+                assert service.rejected_unmappable == 1
+
+        asyncio.run(run())
+
+
+class TestBackpressure:
+    def test_reject_then_drain_then_accept(self):
+        async def run():
+            service = make_service(
+                max_queue=100, high_water=10, admission_batch=50)
+            async with service:
+                client = ServiceClient(service)
+                accepted = 0
+                with pytest.raises(SubmitRejected) as exc_info:
+                    for _ in range(50):
+                        client.offer(procs=1, runtime=10.0)
+                        accepted += 1
+                assert exc_info.value.reason == "backpressure"
+                assert accepted == 10  # engaged exactly at the high-water mark
+                assert service.backpressure_engaged
+                assert service.backpressure_engagements == 1
+                await client.drain()
+                # Hysteresis released the gate at/below the low-water mark.
+                assert not service.backpressure_engaged
+                ticket = client.offer(procs=1, runtime=10.0)  # accepted again
+                await client.drain()
+                assert ticket.admitted
+
+        asyncio.run(run())
+
+    def test_hard_queue_bound(self):
+        async def run():
+            service = make_service(max_queue=5, high_water=5)
+            # Loop not started: nothing drains the queue.
+            for _ in range(5):
+                service.offer(procs=1, runtime=10.0)
+            with pytest.raises(SubmitRejected) as exc_info:
+                service.offer(procs=1, runtime=10.0)
+            # The hard bound coincides with the high-water mark here; the
+            # door reports whichever gate tripped first.
+            assert exc_info.value.reason in ("queue-full", "backpressure")
+
+        asyncio.run(run())
+
+    def test_await_policy_parks_submitter_until_drain(self):
+        async def run():
+            service = make_service(
+                max_queue=100, high_water=5, backpressure="await",
+                admission_batch=50)
+            async with service:
+                client = ServiceClient(service)
+                # The offer *after* the queue reaches the high-water mark
+                # engages the gate (and still enqueues under ``await``).
+                for _ in range(6):
+                    client.offer(procs=1, runtime=10.0)
+                assert service.backpressure_engaged
+                # The awaited submit parks until the queue drains below
+                # the low-water mark, then succeeds — no rejection.
+                ticket = await client.submit(procs=1, runtime=10.0)
+                assert ticket is not None
+                assert service.rejected_backpressure == 0
+
+        asyncio.run(run())
+
+
+class TestClocks:
+    def test_virtual_clock_drives_kernel(self):
+        kernel = SimulationKernel()
+        clock = make_clock("virtual", kernel)
+        assert isinstance(clock, VirtualClock)
+        assert clock.now() == 0.0
+
+        async def run():
+            await clock.tick(5.0)
+            await clock.tick(2.5)
+
+        asyncio.run(run())
+        assert kernel.now == 7.5
+        assert clock.now() == 7.5
+
+    def test_real_clock_follows_wall_time(self):
+        kernel = SimulationKernel()
+        wall = [100.0]
+        clock = RealTimeClock(kernel, rate=2.0, time_source=lambda: wall[0])
+        assert clock.now() == 0.0
+        wall[0] = 103.0
+        assert clock.now() == 6.0  # 3 wall seconds at 2x
+
+        async def run():
+            await clock.tick(0.0)
+
+        asyncio.run(run())
+        assert kernel.now == 6.0  # the kernel chased the wall clock
+
+    def test_unknown_clock_mode(self):
+        with pytest.raises(ValueError):
+            make_clock("sundial", SimulationKernel())
+
+    def test_service_clock_modes(self):
+        assert make_service().clock.mode == "virtual"
+        real = MetaSchedulerService(two_clusters(), clock="real")
+        assert real.clock.mode == "real"
+
+
+class TestRetention:
+    def test_retired_tickets_forget_mappings(self):
+        async def run():
+            service = make_service(completed_retention=5)
+            async with service:
+                client = ServiceClient(service)
+                for _ in range(20):
+                    client.offer(procs=1, runtime=10.0)
+                await client.drain()
+            service.run_until_idle()
+            # Only the newest 5 completed tickets remain queryable, and
+            # the metascheduler's mapping dict shrank with them.
+            assert len(service._registry) == 5
+            assert len(service.scheduler.initial_mapping) == 5
+
+        asyncio.run(run())
+
+
+class TestStatsAndHealth:
+    def test_health_document(self):
+        async def run():
+            service = make_service()
+            async with service:
+                client = ServiceClient(service)
+                health = client.health()
+                assert health["status"] == "ok"
+                assert health["clock"] == "virtual"
+                assert set(health["clusters"]) == {"alpha", "beta"}
+                client.offer(procs=1, runtime=10.0)
+                assert client.health()["queue_depth"] == 1
+
+        asyncio.run(run())
+
+    def test_stats_counters_and_latency(self):
+        async def run():
+            service = make_service()
+            async with service:
+                client = ServiceClient(service)
+                for _ in range(10):
+                    client.offer(procs=1, runtime=10.0)
+                await client.quiesce()
+                service.run_until_idle()
+                stats = client.stats()
+                assert stats["accepted"] == 10
+                assert stats["admitted"] == 10
+                assert stats["queue_depth"] == 0
+                assert stats["admit_latency_s"]["samples"] == 10
+                assert stats["admit_latency_s"]["p99"] >= stats["admit_latency_s"]["p50"] >= 0
+
+        asyncio.run(run())
+
+
+class TestConfigValidation:
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(heartbeat=-1.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(admission_batch=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(high_water=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_queue=10, high_water=11)
+        with pytest.raises(ValueError):
+            ServiceConfig(high_water=10, low_water=11)
+
+    def test_policy_coercion(self):
+        config = ServiceConfig(backpressure="await")
+        assert config.backpressure is BackpressurePolicy.AWAIT
+        assert ServiceConfig(high_water=10).low_water == 5
