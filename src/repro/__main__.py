@@ -205,6 +205,23 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_PROFILE_ENGINE, metavar="{auto,array,list}",
         help="availability-profile engine of every cluster "
              "(default %(default)s)")
+    parser.add_argument(
+        "--reallocation-interval", type=float, default=None, metavar="S",
+        help="run a reallocation tick every S service-clock seconds "
+             "(default: reallocation off)")
+    parser.add_argument(
+        "--reallocation-algorithm", choices=("standard", "cancellation"),
+        default="standard",
+        help="the paper's Algorithm 1 (tuning) or 2 (cancel-and-resubmit) "
+             "(default %(default)s)")
+    parser.add_argument(
+        "--reallocation-heuristic", default="mct", metavar="NAME",
+        help="heuristic ordering the reallocation scan: mct, minmin, "
+             "maxmin, maxgain, maxrelgain, sufferage (default %(default)s)")
+    parser.add_argument(
+        "--reallocation-threshold", type=float, default=60.0, metavar="S",
+        help="Algorithm 1 only moves a job gaining more than S seconds "
+             "(default %(default)s)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -798,6 +815,10 @@ def _build_service(args: argparse.Namespace) -> MetaSchedulerService:
         max_queue=args.max_queue,
         high_water=min(args.high_water, args.max_queue),
         backpressure=args.backpressure,
+        reallocation_interval=args.reallocation_interval,
+        reallocation_algorithm=args.reallocation_algorithm,
+        reallocation_heuristic=args.reallocation_heuristic,
+        reallocation_threshold=args.reallocation_threshold,
     )
     return MetaSchedulerService(
         platform,

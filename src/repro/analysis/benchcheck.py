@@ -18,6 +18,9 @@ The walk understands the conventions the reports already use:
   informational, with the 3× floor only asserted at 10⁶ events;
 * ``"online": true`` marks a variant whose speedup is reported for
   context but not floor-checked (the heuristics report's MCT entry);
+* ``"informational": true`` likewise exempts a subtree recorded for
+  context only — the reallocation report uses it for the ECT-family
+  cancellation drain, whose cost is inherently quadratic on both paths;
 * the speedup keys are ``speedup`` and ``drain_speedup``;
 * absolute throughputs follow the same shape: a ``jobs_per_s`` value is
   governed by the nearest ``min_jobs_per_s`` floor (the service report
@@ -93,6 +96,8 @@ def _walk(
     local_scale = node.get("speedup_floor_scale", scale)
     if node.get("online") is True:
         enforced, reason = False, "online variant"
+    if node.get("informational") is True:
+        enforced, reason = False, "informational"
     for key in sorted(node):
         value = node[key]
         label = f"{path}.{key}" if path else key

@@ -183,7 +183,8 @@ class IncrementalPlanner:
     """
 
     __slots__ = (
-        "policy", "keep_queue_order", "cluster", "speed", "jobs", "waiting_ids", "plan"
+        "policy", "keep_queue_order", "cluster", "speed", "jobs", "waiting_ids",
+        "plan", "generation",
     )
 
     def __init__(self, policy: BatchPolicy, cluster: ClusterState) -> None:
@@ -196,6 +197,14 @@ class IncrementalPlanner:
         #: duplicate-submission check on the service admission hot path.
         self.waiting_ids: set = set()
         self.plan = IncrementalPlan(cluster.name, cluster.availability(0.0), 0.0)
+        #: bumped whenever the plan or residual profile changes in a way
+        #: that can alter an estimate: submissions, cancellations, replans
+        #: (early completions, capacity changes).  A job starting exactly at
+        #: its planned slot does *not* bump it — the reservation moves from
+        #: the plan to the running set with an identical residual, so every
+        #: other job's estimate is unchanged.  The reallocation engine's
+        #: dirty-cluster invalidation keys off this counter.
+        self.generation = 0
 
     # ------------------------------------------------------------------ #
     # Queries                                                            #
@@ -294,6 +303,7 @@ class IncrementalPlanner:
     def submit(self, job: Job, now: float) -> None:
         """Append ``job`` to the queue and place it at the tail."""
         self.advance(now)
+        self.generation += 1
         self.jobs.append(job)
         self.waiting_ids.add(job.job_id)
         self._extend(len(self.jobs) - 1)
@@ -301,6 +311,7 @@ class IncrementalPlanner:
     def cancel(self, index: int, now: float) -> None:
         """Remove the job at queue position ``index``; replan the suffix."""
         self.advance(now)
+        self.generation += 1
         self.waiting_ids.discard(self.jobs[index].job_id)
         del self.jobs[index]
         self.plan.restore_suffix(index)
@@ -357,6 +368,7 @@ class IncrementalPlanner:
 
     def replan_all(self, now: float) -> None:
         """Rebuild the plan from the cluster's live availability profile."""
+        self.generation += 1
         self.plan.reset(self.cluster.availability(now), now)
         self._extend(0)
 

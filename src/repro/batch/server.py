@@ -176,6 +176,20 @@ class BatchServer:
         """Number of waiting jobs."""
         return len(self._planner.jobs)
 
+    @property
+    def state_generation(self) -> int:
+        """Monotonic counter of estimate-changing state transitions.
+
+        Bumped by the planner on every submission, cancellation and replan
+        (early completions, capacity changes — see
+        :attr:`IncrementalPlanner.generation`).  Two queries made while the
+        counter is unchanged see the same plan and residual profile, so a
+        cached estimate taken at the same simulated time is still exact;
+        the reallocation engine uses this to skip re-querying clean
+        clusters across ticks.
+        """
+        return self._planner.generation
+
     def waiting_jobs(self) -> List[Job]:
         """Snapshot of the waiting queue, in queue order."""
         return list(self._planner.jobs)

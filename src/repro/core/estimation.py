@@ -65,6 +65,7 @@ class EstimateMatrix:
     __slots__ = (
         "clusters",
         "col_index",
+        "_cols_by_name",
         "_ects",
         "_fits",
         "_current_ect",
@@ -85,6 +86,13 @@ class EstimateMatrix:
         self.col_index: Dict[str, int] = {
             name: index for index, name in enumerate(self.clusters)
         }
+        # Column indices sorted by cluster name: the (ECT, name) tie-break
+        # of best_cols/best_other_cols picks the first candidate in this
+        # order, matching JobEstimate's min over (value, name) pairs.
+        self._cols_by_name = np.array(
+            sorted(range(len(self.clusters)), key=lambda col: self.clusters[col]),
+            dtype=np.intp,
+        )
         capacity = _INITIAL_CAPACITY
         width = len(self.clusters)
         self._ects = np.full((capacity, width), np.inf, dtype=np.float64)
@@ -211,6 +219,59 @@ class EstimateMatrix:
         if row is not None:
             self.discard_row(row)
 
+    def has_row(self, job_id: int) -> bool:
+        """True if the candidate has a row (alive *or* discarded)."""
+        return job_id in self._row_of
+
+    def discard_all(self) -> None:
+        """Mask every row out; rows stay resolvable and can be revived."""
+        self._alive[: self._size] = False
+        self._alive_count = 0
+
+    def revive_rows(self, rows: "np.ndarray | Iterable[int]") -> None:
+        """Un-discard the given rows (the persistent-engine sync path)."""
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self._size:
+            raise IndexError(f"row out of range (have {self._size})")
+        self._alive[rows] = True
+        self._alive_count = int(np.count_nonzero(self._alive[: self._size]))
+
+    def compact(self) -> np.ndarray:
+        """Physically drop the discarded rows; returns the kept old indices.
+
+        The persistent engine accumulates dead rows (jobs that started or
+        completed between ticks) that :meth:`discard_row` only masks out;
+        compaction garbage-collects them so a long-running service does
+        not grow the matrix without bound.  Row indices *change*: callers
+        must re-resolve through :meth:`row_of` and re-gather any parallel
+        per-row arrays with the returned index array.
+        """
+        keep = np.flatnonzero(self._alive[: self._size])
+        capacity = _INITIAL_CAPACITY
+        while capacity < keep.size:
+            capacity *= 2
+        width = self.n_clusters
+        ects = np.full((capacity, width), np.inf, dtype=np.float64)
+        ects[: keep.size] = self._ects[keep]
+        self._ects = ects
+        fits = np.zeros((capacity, width), dtype=bool)
+        fits[: keep.size] = self._fits[keep]
+        self._fits = fits
+        for name in ("_current_ect", "_current_col", "_submit", "_job_ids", "_procs", "_alive"):
+            old = getattr(self, name)
+            fill = np.inf if name == "_current_ect" else (-1 if name == "_current_col" else 0)
+            packed = np.full(capacity, fill, dtype=old.dtype)
+            packed[: keep.size] = old[keep]
+            setattr(self, name, packed)
+        self._size = keep.size
+        self._alive_count = keep.size
+        self._row_of = {
+            int(jid): row for row, jid in enumerate(self._job_ids[: keep.size])
+        }
+        return keep
+
     def set_entry(self, row: int, cluster: str, ect: float) -> None:
         """Write one (candidate, cluster) estimate; marks the pair fitting."""
         self._check_row(row)
@@ -259,6 +320,57 @@ class EstimateMatrix:
     def job_ids(self, rows: np.ndarray) -> np.ndarray:
         """Job ids of the given rows (tie-break key 2)."""
         return self._job_ids[rows]
+
+    def current_cols(self, rows: np.ndarray) -> np.ndarray:
+        """Current-cluster column index of the given rows (-1 = nowhere)."""
+        return self._current_col[rows]
+
+    def ects_block(self, rows: np.ndarray) -> np.ndarray:
+        """ECT sub-matrix of the given rows (a copy; all columns)."""
+        return self._ects[rows]
+
+    def fits_block(self, rows: np.ndarray) -> np.ndarray:
+        """Fits sub-matrix of the given rows (a copy; all columns)."""
+        return self._fits[rows]
+
+    def _pick_named(
+        self, rows: np.ndarray, ects: np.ndarray, fits: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Shared (ECT, name)-tie-break argmin over fitting columns."""
+        if self.n_clusters == 0:
+            empty = np.full(len(rows), np.inf)
+            return np.full(len(rows), -1, dtype=np.int64), empty
+        best = np.min(ects, axis=1)
+        candidates = fits & (ects == best[:, None])
+        by_name = candidates[:, self._cols_by_name]
+        cols = self._cols_by_name[np.argmax(by_name, axis=1)].astype(np.int64)
+        return np.where(fits.any(axis=1), cols, -1), best
+
+    def best_cols(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row (best column, best ECT) over the fitting clusters.
+
+        Mirrors :attr:`JobEstimate.best_cluster` / :attr:`best_ect`: ties
+        on the ECT value are broken by cluster *name*, and a row that fits
+        nowhere reports ``(-1, inf)``.  With every fitting ECT infinite the
+        name-smallest fitting column is still reported, exactly like the
+        scalar ``min`` over the ``(value, name)`` pairs of the dict.
+        """
+        return self._pick_named(rows, self._ects[rows], self._fits[rows])
+
+    def best_other_cols(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row (column, ECT) of the best cluster excluding the current.
+
+        Mirrors :attr:`JobEstimate.best_other_cluster` /
+        :attr:`best_other_ect`: the row's current column is excluded from
+        the minimum, and ``(-1, inf)`` means no *other* cluster fits.
+        """
+        ects = self._ects[rows].copy()
+        fits = self._fits[rows].copy()
+        current = self._current_col[rows]
+        placed = np.flatnonzero(current >= 0)
+        ects[placed, current[placed]] = np.inf
+        fits[placed, current[placed]] = False
+        return self._pick_named(rows, ects, fits)
 
     # ------------------------------------------------------------------ #
     # Derived vectors (bit-identical to the JobEstimate properties)      #

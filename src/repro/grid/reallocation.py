@@ -50,6 +50,8 @@ import enum
 import math
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.batch.job import Job, JobState
 from repro.batch.server import BatchServer
 from repro.core.estimation import EstimateMatrix
@@ -111,6 +113,10 @@ class _EstimateTable:
     def alive_jobs(self) -> List[Job]:
         """Jobs of the still-selectable candidates, in insertion order."""
         return [self._jobs[job_id] for job_id in self._matrix.alive_job_ids()]
+
+    def job_of(self, job_id: int) -> Job:
+        """The :class:`Job` object of one candidate."""
+        return self._jobs[job_id]
 
     # ------------------------------------------------------------------ #
     # Builds                                                             #
@@ -274,6 +280,188 @@ class _EstimateTable:
         return [self.estimate_of(job_id) for job_id in job_ids]
 
 
+class ReallocationEngine(_EstimateTable):
+    """Persistent cross-tick estimate table with dirty-cluster invalidation.
+
+    A fresh ``_EstimateTable`` build pays O(candidates × clusters)
+    estimation queries at *every* tick, even when nothing changed since
+    the last one.  The engine keeps the matrix alive across ticks and, at
+    each tick, reconciles it with the new candidate set instead:
+
+    * rows of departed candidates (started, completed, moved out of the
+      waiting state) are masked out and eventually compacted away;
+    * rows of returning candidates are revived with their cached entries;
+    * only *dirty* clusters have their ECT column re-queried (through the
+      same batched :meth:`BatchServer.estimate_completion_many` path a
+      fresh build uses); brand-new candidates get a full fresh row.
+
+    A cluster is **dirty** when either of two conditions holds:
+
+    1. its :attr:`BatchServer.state_generation` moved since its column was
+       last written — a submission, cancellation or replan (early
+       completion, capacity change) changed the plan or residual profile,
+       so any cached estimate against it may be stale;
+    2. any cached entry of its column implies a hypothetical start before
+       the current simulated time (``start = ect − walltime/speed``, with
+       an ulp-scaled safety margin) — estimates are anchored at query
+       time, and an entry starting in the past could not be reproduced by
+       a fresh query issued now.
+
+    Together these make cached reuse *exact*, not approximate: with an
+    unchanged profile, ``earliest_slot`` is monotone in its ``earliest``
+    argument, so a cached placement starting at or after ``now`` is
+    precisely what a fresh query would return — the engine's decisions
+    are float-identical to a rebuild's (the randomized cross-tick oracle
+    in ``tests/test_reallocation_incremental.py`` enforces it).
+    """
+
+    #: Dead rows tolerated before the matrix is compacted.
+    _GARBAGE_SLACK = 256
+
+    def __init__(self, servers: Sequence[BatchServer]) -> None:
+        super().__init__(servers)
+        self._speeds = np.array(
+            [server.speed for server in self._servers.values()], dtype=np.float64
+        )
+        self._synced_generation: Dict[str, int] = {}
+        #: per-row walltimes, parallel to the matrix rows (start-time check)
+        self._walltime = np.zeros(64, dtype=np.float64)
+        #: statistics: column refreshes skipped thanks to clean clusters
+        self.clean_columns_reused = 0
+        self.sync_count = 0
+
+    def _insert(
+        self,
+        job: Job,
+        ects: Dict[str, float],
+        current_cluster: Optional[str],
+        current_ect: float,
+    ) -> None:
+        super()._insert(job, ects, current_cluster, current_ect)
+        row = self._matrix.row_of(job.job_id)
+        if row >= self._walltime.shape[0]:
+            grown = np.zeros(
+                max(self._walltime.shape[0] * 2, row + 1), dtype=np.float64
+            )
+            grown[: self._walltime.shape[0]] = self._walltime
+            self._walltime = grown
+        self._walltime[row] = job.walltime
+
+    # ------------------------------------------------------------------ #
+    # Cross-tick reconciliation                                          #
+    # ------------------------------------------------------------------ #
+    def _sync_rows(self, jobs: Sequence[Job]) -> Tuple[List[Job], List[Job]]:
+        """Reconcile the row set with this tick's candidates.
+
+        Masks out every row, revives the rows of returning candidates and
+        garbage-collects the matrix once dead rows outnumber the live
+        ones.  Returns ``(survivors, new)`` in candidate order.
+        """
+        matrix = self._matrix
+        self._jobs = {job.job_id: job for job in jobs}
+        survivors: List[Job] = []
+        new: List[Job] = []
+        rows: List[int] = []
+        for job in jobs:
+            if matrix.has_row(job.job_id):
+                survivors.append(job)
+                rows.append(matrix.row_of(job.job_id))
+            else:
+                new.append(job)
+        matrix.discard_all()
+        matrix.revive_rows(np.asarray(rows, dtype=np.intp))
+        if matrix.n_rows - matrix.alive_count > max(
+            self._GARBAGE_SLACK, matrix.alive_count
+        ):
+            kept = matrix.compact()
+            self._walltime = self._walltime[kept]
+        return survivors, new
+
+    def _dirty_clusters(self, now: float) -> Set[str]:
+        """Clusters whose cached ECT column cannot be reused at ``now``."""
+        dirty = {
+            name
+            for name, server in self._servers.items()
+            if self._synced_generation.get(name) != server.state_generation
+        }
+        matrix = self._matrix
+        rows = matrix.alive_rows()
+        if rows.size and len(dirty) < len(self._servers):
+            ects = matrix.ects_block(rows)
+            durations = self._walltime[rows][:, None] / self._speeds[None, :]
+            with np.errstate(invalid="ignore"):
+                starts = ects - durations - 4.0 * np.spacing(np.abs(ects))
+            starts = np.where(np.isfinite(ects), starts, np.inf)
+            for col in np.flatnonzero(np.min(starts, axis=0) < now):
+                dirty.add(matrix.clusters[col])
+        self.clean_columns_reused += len(self._servers) - len(dirty)
+        return dirty
+
+    def _record_generations(self) -> None:
+        self._synced_generation = {
+            name: server.state_generation for name, server in self._servers.items()
+        }
+        self.sync_count += 1
+
+    def sync_waiting(
+        self,
+        jobs: Sequence[Job],
+        planned_of: Callable[[Job], float],
+        now: float,
+    ) -> None:
+        """Reconcile with an Algorithm 1 waiting snapshot.
+
+        Afterwards every alive row is float-identical to what a fresh
+        :meth:`_EstimateTable.add_waiting_many` build over ``jobs`` would
+        hold; ``planned_of`` is only consulted for brand-new candidates.
+        """
+        survivors, new = self._sync_rows(jobs)
+        dirty = self._dirty_clusters(now)
+        matrix = self._matrix
+        for job in survivors:
+            row = matrix.row_of(job.job_id)
+            current_cluster, _ = matrix.current_of(row)
+            if current_cluster != job.cluster:
+                # Moved by a previous tick: the destination saw a submit,
+                # so its column is dirty and the refresh below overwrites
+                # this placeholder with the real planned completion.
+                matrix.set_current(row, job.cluster, math.inf)
+        self.refresh_clusters(dirty)
+        if new:
+            self.add_waiting_many([(job, planned_of(job)) for job in new])
+        self._record_generations()
+
+    def sync_cancelled(
+        self,
+        jobs: Sequence[Job],
+        origin_of: Mapping[int, str],
+        now: float,
+    ) -> None:
+        """Reconcile with an Algorithm 2 cancelled set.
+
+        Afterwards every alive row is float-identical to a fresh
+        :meth:`_EstimateTable.add_cancelled_many` build: the cancels that
+        produced ``jobs`` dirtied every origin, so each survivor's origin
+        column — and with it the "current" resubmission estimate — is
+        recomputed; only untouched foreign columns are reused.
+        """
+        survivors, new = self._sync_rows(jobs)
+        dirty = self._dirty_clusters(now)
+        matrix = self._matrix
+        for job in survivors:
+            # The cancel of this job bumped its origin's generation, so the
+            # refresh below replaces this placeholder with the origin's
+            # fresh resubmission estimate (or leaves inf if it fits no
+            # longer), exactly like a fresh add_cancelled_many build.
+            matrix.set_current(
+                matrix.row_of(job.job_id), origin_of[job.job_id], math.inf
+            )
+        self.refresh_clusters(dirty)
+        if new:
+            self.add_cancelled_many(new, origin_of)
+        self._record_generations()
+
+
 class ReallocationAgent:
     """Periodic reallocation of waiting jobs between clusters.
 
@@ -295,6 +483,12 @@ class ReallocationAgent:
     has_pending_work:
         Callable returning True while the simulation still has unfinished
         jobs; the agent stops rescheduling itself once it returns False.
+    incremental:
+        When True (the default) the agent owns a persistent
+        :class:`ReallocationEngine` and each tick reconciles it instead of
+        rebuilding the estimate table from scratch; the decisions are
+        float-identical either way (``False`` keeps the historical rebuild
+        path, used as the differential reference oracle).
     """
 
     def __init__(
@@ -306,6 +500,7 @@ class ReallocationAgent:
         period: float = DEFAULT_PERIOD,
         threshold: float = DEFAULT_THRESHOLD,
         has_pending_work: Optional[Callable[[], bool]] = None,
+        incremental: bool = True,
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
@@ -323,11 +518,24 @@ class ReallocationAgent:
         self.period = float(period)
         self.threshold = float(threshold)
         self.has_pending_work = has_pending_work
+        self.incremental = bool(incremental)
+        self._engine: Optional[ReallocationEngine] = (
+            ReallocationEngine(self.servers) if self.incremental else None
+        )
         #: total number of job moves (a job moved twice counts twice)
         self.total_reallocations = 0
+        #: moves made by Algorithm 1 (tuning) ticks
+        self.tuned_moves = 0
+        #: jobs cancelled-and-resubmitted by Algorithm 2 ticks
+        self.cancelled_resubmissions = 0
         #: number of reallocation ticks that fired
         self.tick_count = 0
         self._started = False
+
+    @property
+    def engine(self) -> Optional[ReallocationEngine]:
+        """The persistent estimate table (``None`` in rebuild mode)."""
+        return self._engine
 
     # ------------------------------------------------------------------ #
     # Tick scheduling                                                    #
@@ -351,8 +559,22 @@ class ReallocationAgent:
     # ------------------------------------------------------------------ #
     def run_once(self) -> int:
         """Run one reallocation event now; returns the number of moves."""
+        if not any(server.queue_length for server in self.servers):
+            # Early exit: with no job waiting anywhere neither algorithm
+            # can act, so skip the table build (and sync) outright.  This
+            # is observationally identical to running the loop over an
+            # empty candidate set — estimates are pure queries.
+            return 0
         if self.algorithm is ReallocationAlgorithm.STANDARD:
-            return self._run_standard()
+            moves = (
+                self._run_standard_incremental()
+                if self._engine is not None
+                else self._run_standard()
+            )
+            self.tuned_moves += moves
+            return moves
+        if self._engine is not None:
+            return self._run_cancellation_incremental()
         return self._run_cancellation()
 
     def _collect_waiting(self) -> List[Job]:
@@ -419,6 +641,7 @@ class ReallocationAgent:
             previous_cluster[job.job_id] = job.cluster
             self._servers_by_name[job.cluster].cancel(job)
             cancelled.append(job)
+        self.cancelled_resubmissions += len(cancelled)
 
         # One table serves the whole tick: every (job, cluster) estimate of
         # the cancelled set is computed exactly once here — one batched
@@ -443,6 +666,192 @@ class ReallocationAgent:
                 moves += 1
             table.discard(job.job_id)
             table.refresh_clusters({target_name})
+        return moves
+
+    # -- Incremental-engine ticks ---------------------------------------- #
+    def _run_standard_incremental(self) -> int:
+        """Algorithm 1 over the persistent engine, drained vectorised.
+
+        The decision loop walks the heuristic's full lexicographic order
+        once per move: between two moves nothing mutates, so discarding
+        every non-mover up to the first row whose batched best-vs-current
+        comparison passes the threshold is exactly the reference loop's
+        select → discard → test sequence.  A tick that moves nothing costs
+        one lexsort and one vectorised comparison — no per-job work at
+        all.
+        """
+        engine = self._engine
+        assert engine is not None
+        engine.sync_waiting(
+            self._collect_waiting(),
+            lambda job: self._servers_by_name[job.cluster].planned_completion(job),
+            self.kernel.now,
+        )
+        matrix = engine.matrix
+        moves = 0
+        remaining = matrix.alive_rows()
+        while remaining.size:
+            # Prune candidates that started meanwhile (cancelling a queue
+            # head can let the local scheduler start jobs behind it).
+            keep = np.fromiter(
+                (
+                    engine.job_of(matrix.job_id_at(int(row))).state is JobState.WAITING
+                    for row in remaining
+                ),
+                dtype=bool,
+                count=remaining.size,
+            )
+            if not keep.all():
+                for row in remaining[~keep]:
+                    engine.discard(matrix.job_id_at(int(row)))
+                remaining = remaining[keep]
+                if remaining.size == 0:
+                    break
+            keys = self.heuristic.key_array(matrix, remaining)
+            order = np.lexsort(
+                (matrix.job_ids(remaining), matrix.submit_times(remaining), keys)
+            )
+            other_cols, other_ects = matrix.best_other_cols(remaining)
+            current_ects = matrix.current_ects(remaining)
+            movable = (
+                (other_cols >= 0)
+                & np.isfinite(other_ects)
+                & (other_ects + self.threshold < current_ects)
+            )
+            hits = np.flatnonzero(movable[order])
+            ordered_rows = remaining[order]
+            if hits.size == 0:
+                for row in ordered_rows:
+                    engine.discard(matrix.job_id_at(int(row)))
+                break
+            mover_index = int(hits[0])
+            mover_row = int(ordered_rows[mover_index])
+            job = engine.job_of(matrix.job_id_at(mover_row))
+            new_cluster = matrix.clusters[int(other_cols[int(order[mover_index])])]
+            for row in ordered_rows[: mover_index + 1]:
+                engine.discard(matrix.job_id_at(int(row)))
+            origin_name = job.cluster
+            self._servers_by_name[origin_name].cancel(job)
+            self._servers_by_name[new_cluster].submit(job)
+            job.reallocation_count += 1
+            self.total_reallocations += 1
+            moves += 1
+            engine.refresh_clusters({origin_name, new_cluster})
+            remaining = ordered_rows[mover_index + 1 :]
+        return moves
+
+    def _run_cancellation_incremental(self) -> int:
+        """Algorithm 2 over the persistent engine."""
+        engine = self._engine
+        assert engine is not None
+        snapshot = self._collect_waiting()
+        previous_cluster: Dict[int, str] = {}
+        cancelled: List[Job] = []
+        for job in snapshot:
+            if job.state is not JobState.WAITING or job.cluster is None:
+                continue
+            previous_cluster[job.job_id] = job.cluster
+            self._servers_by_name[job.cluster].cancel(job)
+            cancelled.append(job)
+        self.cancelled_resubmissions += len(cancelled)
+        engine.sync_cancelled(cancelled, previous_cluster, self.kernel.now)
+        if self.heuristic.online:
+            return self._drain_cancellation_online(engine, previous_cluster)
+        return self._drain_cancellation_batch(engine, previous_cluster)
+
+    def _drain_cancellation_online(
+        self, engine: ReallocationEngine, previous_cluster: Dict[int, str]
+    ) -> int:
+        """Row-lazy Algorithm 2 drain for the online heuristics.
+
+        An online heuristic's visit order ignores the ECTs, so it is fixed
+        by one lexsort up front; and each placement decision reads only
+        the visited row's own entries.  Instead of refreshing the touched
+        column over *all* remaining rows after every resubmission (the
+        reference's O(n²) estimate storm), each row is refreshed lazily at
+        its visit, only on the clusters touched since its entries were
+        last written — O(n × clusters) estimates per tick.  The decisions
+        are identical: estimates are pure queries, so recomputing an entry
+        once at visit time yields the exact value the reference's
+        last column refresh wrote.
+        """
+        matrix = engine.matrix
+        rows = matrix.alive_rows()
+        if rows.size == 0:
+            return 0
+        keys = self.heuristic.key_array(matrix, rows)
+        order = np.lexsort((matrix.job_ids(rows), matrix.submit_times(rows), keys))
+        row_epoch = np.zeros(matrix.n_rows, dtype=np.int64)
+        cluster_epoch: Dict[str, int] = {}
+        epoch = 0
+        moves = 0
+        single = np.zeros(1, dtype=np.intp)
+        for row in rows[order]:
+            row = int(row)
+            job = engine.job_of(matrix.job_id_at(row))
+            last_seen = int(row_epoch[row])
+            for name, stamp in cluster_epoch.items():
+                if stamp <= last_seen:
+                    continue
+                server = self._servers_by_name[name]
+                current_cluster, _ = matrix.current_of(row)
+                if not server.fits_now(job):
+                    matrix.clear_entry(row, name)
+                    if name == current_cluster:
+                        matrix.set_current(row, current_cluster, math.inf)
+                    continue
+                value = server.estimate_completion(job)
+                matrix.set_entry(row, name, value)
+                if name == current_cluster:
+                    matrix.set_current(row, current_cluster, value)
+            row_epoch[row] = epoch
+            single[0] = row
+            cols, _ = matrix.best_cols(single)
+            col = int(cols[0])
+            target_name = (
+                matrix.clusters[col] if col >= 0 else previous_cluster[job.job_id]
+            )
+            self._servers_by_name[target_name].submit(job)
+            if target_name != previous_cluster[job.job_id]:
+                job.reallocation_count += 1
+                self.total_reallocations += 1
+                moves += 1
+            engine.discard(job.job_id)
+            epoch += 1
+            cluster_epoch[target_name] = epoch
+        return moves
+
+    def _drain_cancellation_batch(
+        self, engine: ReallocationEngine, previous_cluster: Dict[int, str]
+    ) -> int:
+        """Per-step vectorised Algorithm 2 drain for the ECT heuristics.
+
+        The offline heuristics read the ECTs to *order* the candidates, so
+        every resubmission must refresh the touched column over all
+        remaining rows before the next selection — the inherent O(n²) the
+        paper quotes.  The win over the reference loop is per-step: the
+        selection is the vectorised key argmin and the target pick reads
+        the matrix row directly, with no ``JobEstimate`` materialisation.
+        """
+        matrix = engine.matrix
+        moves = 0
+        single = np.zeros(1, dtype=np.intp)
+        while matrix.alive_count:
+            row = self.heuristic.select_index(matrix)
+            job = engine.job_of(matrix.job_id_at(row))
+            single[0] = row
+            cols, _ = matrix.best_cols(single)
+            col = int(cols[0])
+            target_name = (
+                matrix.clusters[col] if col >= 0 else previous_cluster[job.job_id]
+            )
+            self._servers_by_name[target_name].submit(job)
+            if target_name != previous_cluster[job.job_id]:
+                job.reallocation_count += 1
+                self.total_reallocations += 1
+                moves += 1
+            engine.discard(job.job_id)
+            engine.refresh_clusters({target_name})
         return moves
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -10,7 +10,9 @@ speaks the same subset over a persistent connection.
 Routes
 ------
 * ``GET /health`` — liveness document (clock, queue depth, clusters);
-* ``GET /stats`` — counter snapshot with admit-latency percentiles;
+* ``GET /stats`` — counter snapshot with admit-latency percentiles and,
+  when the reallocation heartbeat is enabled, its tuned/cancelled/migrated
+  counters under ``"reallocation"``;
 * ``POST /submit`` — one job (``{"procs", "runtime", "walltime"}``) or a
   batch (``{"jobs": [...]}``); replies 202 with the assigned id(s),
   429 under backpressure, 503 when full or shutting down;

@@ -166,6 +166,16 @@ class BombardReport:
             histogram = latency.get("histogram") or {}
             for bucket, count in histogram.items():
                 lines.append(f"    {bucket:>10} {count}")
+        reallocation = self.stats.get("reallocation")
+        if reallocation:
+            lines.append(
+                f"  realloc  {reallocation['ticks']} ticks "
+                f"({reallocation['algorithm']}/{reallocation['heuristic']} "
+                f"every {reallocation['interval']}s): "
+                f"{reallocation['tuned']} tuned, "
+                f"{reallocation['cancelled']} cancelled, "
+                f"{reallocation['migrated']} migrated"
+            )
         return "\n".join(lines)
 
 

@@ -49,6 +49,7 @@ from repro.batch.arrayprofile import DEFAULT_PROFILE_ENGINE
 from repro.batch.job import Job, JobState
 from repro.batch.server import BatchServer, BatchServerError
 from repro.grid.metascheduler import MappingPolicy, MetaScheduler
+from repro.grid.reallocation import DEFAULT_THRESHOLD, ReallocationAgent
 from repro.platform.spec import PlatformSpec
 from repro.service.clock import Clock, make_clock
 from repro.sim.kernel import SimulationKernel
@@ -169,6 +170,15 @@ class ServiceConfig:
     completed_retention: int = 100_000
     #: recent admit latencies kept for the stats percentiles
     latency_window: int = 100_000
+    #: service-clock seconds between reallocation heartbeats (``None``
+    #: disables the engine — the default: reallocation is opt-in)
+    reallocation_interval: Optional[float] = None
+    #: the paper's Algorithm 1 (``"standard"``) or 2 (``"cancellation"``)
+    reallocation_algorithm: str = "standard"
+    #: heuristic ordering the reallocation scan (MCT, MinMin, ...)
+    reallocation_heuristic: str = "mct"
+    #: Algorithm 1 only moves a job when it gains more than this (seconds)
+    reallocation_threshold: float = DEFAULT_THRESHOLD
 
     def __post_init__(self) -> None:
         if isinstance(self.backpressure, str):
@@ -192,6 +202,19 @@ class ServiceConfig:
         if self.completed_retention < 0:
             raise ValueError(
                 f"completed_retention must be >= 0, got {self.completed_retention}"
+            )
+        if self.reallocation_interval is not None and self.reallocation_interval <= 0:
+            raise ValueError(
+                f"reallocation_interval must be positive, got {self.reallocation_interval}"
+            )
+        if self.reallocation_algorithm not in ("standard", "cancellation"):
+            raise ValueError(
+                "reallocation_algorithm must be 'standard' or 'cancellation', "
+                f"got {self.reallocation_algorithm!r}"
+            )
+        if self.reallocation_threshold < 0:
+            raise ValueError(
+                f"reallocation_threshold must be >= 0, got {self.reallocation_threshold}"
             )
 
 
@@ -258,6 +281,23 @@ class MetaSchedulerService:
             policy=mapping_policy,
             mapping_retention=self.config.completed_retention + self.config.max_queue,
         )
+        # Live reallocation heartbeat (PR 9 follow-up): the agent's
+        # persistent incremental engine re-tunes the waiting queues every
+        # ``reallocation_interval`` service-clock seconds.  The agent is
+        # never ``start()``-ed — the admission loop drives it directly, so
+        # the same code path works under both clock modes.
+        self._reallocator: Optional[ReallocationAgent] = None
+        self._next_reallocation: Optional[float] = None
+        self.reallocation_ticks = 0
+        if self.config.reallocation_interval is not None:
+            self._reallocator = ReallocationAgent(
+                self.kernel,
+                self.servers,
+                heuristic=self.config.reallocation_heuristic,
+                algorithm=self.config.reallocation_algorithm,
+                period=self.config.reallocation_interval,
+                threshold=self.config.reallocation_threshold,
+            )
 
         # Admission pipeline state.
         self._pending: Deque[Ticket] = deque()
@@ -301,8 +341,19 @@ class MetaSchedulerService:
 
     @property
     def cancelled_after_admission(self) -> int:
-        """Cancellations that removed a job from a cluster queue."""
-        return sum(server.cancelled_count for server in self.servers)
+        """Cancellations that removed a job from a cluster queue.
+
+        Reallocation moves go through the same ``server.cancel`` path but
+        immediately resubmit the job elsewhere — those cancels are backed
+        out so a migrated job still counts as in flight.
+        """
+        total = sum(server.cancelled_count for server in self.servers)
+        if self._reallocator is not None:
+            total -= (
+                self._reallocator.tuned_moves
+                + self._reallocator.cancelled_resubmissions
+            )
+        return total
 
     @property
     def is_closing(self) -> bool:
@@ -356,6 +407,16 @@ class MetaSchedulerService:
                 "p99": _percentile(latencies, 0.99),
                 "max": latencies[-1],
                 "samples": len(latencies),
+            }
+        if self._reallocator is not None:
+            document["reallocation"] = {
+                "interval": self.config.reallocation_interval,
+                "algorithm": self.config.reallocation_algorithm,
+                "heuristic": self.config.reallocation_heuristic,
+                "ticks": self.reallocation_ticks,
+                "tuned": self._reallocator.tuned_moves,
+                "cancelled": self._reallocator.cancelled_resubmissions,
+                "migrated": self._reallocator.total_reallocations,
             }
         return document
 
@@ -547,6 +608,8 @@ class MetaSchedulerService:
             if batch:
                 self._admit(batch)
             self._update_backpressure()
+            if self._reallocator is not None:
+                self._maybe_reallocate()
             if self._closing and not pending:
                 break
             if not pending and not self.kernel.pending_events:
@@ -557,6 +620,24 @@ class MetaSchedulerService:
                 await self._wake.wait()
                 continue
             await self.clock.tick(config.heartbeat)
+
+    def _maybe_reallocate(self) -> None:
+        """Fire a reallocation tick when the interval elapsed.
+
+        All-idle ticks are skipped entirely: when no cluster has a waiting
+        job the interval is simply re-armed, without waking the engine.
+        """
+        now = self.clock.now()
+        interval = self.config.reallocation_interval
+        if self._next_reallocation is None:
+            self._next_reallocation = now + interval
+            return
+        if now < self._next_reallocation:
+            return
+        self._next_reallocation = now + interval
+        if any(server.queue_length for server in self.servers):
+            self._reallocator.run_once()
+            self.reallocation_ticks += 1
 
     def _admit(self, batch: List[Ticket]) -> None:
         """Map one admission batch through the bulk MCT path."""

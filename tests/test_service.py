@@ -395,3 +395,70 @@ class TestConfigValidation:
         config = ServiceConfig(backpressure="await")
         assert config.backpressure is BackpressurePolicy.AWAIT
         assert ServiceConfig(high_water=10).low_water == 5
+
+
+class TestReallocationHeartbeat:
+    def _realloc_service(self, **overrides) -> MetaSchedulerService:
+        config = dict(
+            heartbeat=0.05,
+            reallocation_interval=0.2,
+            reallocation_algorithm="cancellation",
+            reallocation_heuristic="mct",
+        )
+        config.update(overrides)
+        return make_service(**config)
+
+    def test_disabled_by_default(self):
+        service = make_service()
+        assert "reallocation" not in service.stats()
+
+    def test_heartbeat_fires_and_counts(self):
+        async def run():
+            service = self._realloc_service()
+            async with service:
+                client = ServiceClient(service)
+                for _ in range(40):
+                    client.offer(procs=2, runtime=500.0)
+                await client.drain()
+                for _ in range(400):
+                    if service.reallocation_ticks >= 2:
+                        break
+                    await asyncio.sleep(0)
+            document = service.stats()["reallocation"]
+            assert document["ticks"] >= 2
+            assert document["cancelled"] > 0
+            assert document["algorithm"] == "cancellation"
+            assert document["interval"] == pytest.approx(0.2)
+            return service
+
+        service = asyncio.run(run())
+        # Reallocation cancels are backed out of the cancellation
+        # accounting: nothing was *user*-cancelled, everything completes.
+        assert service.stats()["cancelled"] == 0
+        service.run_until_idle()
+        assert service.in_flight == 0
+        assert service.completed == service.accepted
+
+    def test_idle_ticks_are_skipped(self):
+        async def run():
+            service = self._realloc_service()
+            async with service:
+                client = ServiceClient(service)
+                client.offer(procs=2, runtime=0.01)
+                await client.quiesce()
+                # Plenty of loop passes with empty queues: the interval
+                # re-arms but the engine never wakes.
+                for _ in range(50):
+                    await asyncio.sleep(0)
+            return service
+
+        service = asyncio.run(run())
+        assert service.reallocation_ticks == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(reallocation_interval=0.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(reallocation_algorithm="nope")
+        with pytest.raises(ValueError):
+            ServiceConfig(reallocation_threshold=-1.0)
